@@ -1,0 +1,89 @@
+#pragma once
+// Shared bench scaffolding: a small hybrid finite-temperature silicon-like
+// system (scaled down from the paper's cells so every bench finishes in
+// seconds on one host) and table-printing helpers.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "gs/scf.hpp"
+#include "ham/density.hpp"
+#include "pseudo/atoms.hpp"
+#include "td/laser.hpp"
+#include "td/observables.hpp"
+#include "td/ptim.hpp"
+#include "td/rk4.hpp"
+
+namespace ptim::bench {
+
+// Self-contained miniature system: 2 Si atoms, reduced cutoff, hybrid
+// functional on. The *structure* (mixed state, screened exchange, PT-IM
+// fixed point) is identical to the paper's runs; only the scale differs.
+struct MiniSystem {
+  std::unique_ptr<grid::Lattice> lattice;
+  pseudo::AtomList atoms;
+  std::unique_ptr<grid::GSphere> sphere;
+  std::unique_ptr<grid::FftGrid> wfc_grid;
+  std::unique_ptr<grid::FftGrid> den_grid;
+  std::unique_ptr<ham::Hamiltonian> ham;
+  gs::ScfResult ground;
+
+  static MiniSystem make(real_t temperature_k, real_t ecut = 3.0,
+                         size_t nbands = 6) {
+    MiniSystem s;
+    const real_t box = 8.0;
+    s.lattice = std::make_unique<grid::Lattice>(grid::Lattice::cubic(box));
+    s.atoms.species = pseudo::Species::silicon_ah();
+    s.atoms.positions = {{0.1 * box, 0.15 * box, 0.2 * box},
+                         {0.6 * box, 0.55 * box, 0.65 * box}};
+    s.sphere = std::make_unique<grid::GSphere>(*s.lattice, ecut);
+    s.wfc_grid = std::make_unique<grid::FftGrid>(*s.lattice,
+                                                 s.sphere->suggest_dims(1));
+    s.den_grid = std::make_unique<grid::FftGrid>(*s.lattice,
+                                                 s.sphere->suggest_dims(2));
+    ham::HamiltonianOptions opt;
+    s.ham = std::make_unique<ham::Hamiltonian>(
+        *s.lattice, s.atoms, *s.sphere, *s.wfc_grid, *s.den_grid, opt);
+
+    gs::ScfOptions scf;
+    scf.nbands = nbands;
+    scf.nelec = 8.0;
+    scf.temperature_k = temperature_k;
+    scf.tol_rho = 1e-7;
+    scf.davidson_tol = 1e-8;
+    s.ground = gs::ground_state(*s.ham, scf);
+    return s;
+  }
+
+  td::TdState initial() const {
+    return td::TdState::from_occupations(ground.phi, ground.occ);
+  }
+
+  std::vector<real_t> density(const td::TdState& s) const {
+    return ham::density_sigma(s.phi, s.sigma, ham->den_map());
+  }
+
+  real_t dipole_x(const td::TdState& s) const {
+    return td::dipole(density(s), *den_grid, {1.0, 0.0, 0.0});
+  }
+
+  real_t energy(const td::TdState& s) const {
+    const auto rho = density(s);
+    ham->set_density(rho);
+    return ham->energy(s.phi, s.sigma, rho).total();
+  }
+};
+
+inline void rule(char c = '-') {
+  for (int i = 0; i < 78; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+inline void header(const std::string& title) {
+  rule('=');
+  std::printf("%s\n", title.c_str());
+  rule('=');
+}
+
+}  // namespace ptim::bench

@@ -1,0 +1,53 @@
+// Fig. 10 reproduction: strong scaling of the optimized PT-IM code.
+//  (a) 768-atom Si on the ARM platform, 15 -> 480 nodes
+//  (b) 1536-atom Si on the GPU platform, 12 -> 192 nodes
+// Published endpoints: parallel efficiency 36.8% (ARM, 32x nodes) and
+// 22.9% (GPU, 16x nodes).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "netsim/experiments.hpp"
+
+using namespace ptim;
+
+namespace {
+
+void run(const netsim::Platform& plat, size_t natoms,
+         const std::vector<size_t>& nodes, double paper_endpoint_eff) {
+  std::printf("\n%zu-atom silicon — %s (Async variant)\n", natoms,
+              plat.name.c_str());
+  std::printf("%8s %14s %12s %12s %14s\n", "nodes", "t/step (s)", "speedup",
+              "ideal", "parallel eff");
+  const auto rows = netsim::fig10_strong(plat, natoms, nodes);
+  for (const auto& r : rows)
+    std::printf("%8zu %14.2f %11.2fx %11.2fx %13.1f%%\n", r.nodes,
+                r.step_seconds, r.speedup,
+                static_cast<double>(r.nodes) / static_cast<double>(nodes[0]),
+                100.0 * r.parallel_efficiency);
+  std::printf("endpoint parallel efficiency: model %.1f%% vs paper %.1f%%\n",
+              100.0 * rows.back().parallel_efficiency,
+              100.0 * paper_endpoint_eff);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Fig. 10 — strong scaling (wall-clock per 50-as step)");
+  run(netsim::Platform::fugaku_arm(), 768, {15, 30, 60, 120, 240, 480},
+      0.368);
+  run(netsim::Platform::gpu_a100(), 1536, {12, 24, 48, 96, 192}, 0.229);
+
+  // The communication growth the paper reports alongside Fig. 10
+  // (Sec. VIII-B): Sendrecv and Allreduce times at the endpoints.
+  const auto p = netsim::Platform::fugaku_arm();
+  const auto sys = netsim::SystemSize::silicon(768);
+  const auto lo = netsim::predict_step(p, sys, 15, netsim::Variant::kRing);
+  const auto hi = netsim::predict_step(p, sys, 480, netsim::Variant::kRing);
+  std::printf("\nARM Sendrecv: %.2f s @15 nodes -> %.2f s @480 nodes "
+              "(paper: 4.7 -> 7.1)\n",
+              lo.comm.sendrecv, hi.comm.sendrecv);
+  std::printf("ARM Allreduce: %.2f s -> %.2f s (paper: 2.6 -> 3.7)\n",
+              lo.comm.allreduce, hi.comm.allreduce);
+  return 0;
+}

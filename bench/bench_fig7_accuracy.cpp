@@ -1,0 +1,109 @@
+// Fig. 7 reproduction: accuracy of PT-IM-ACE with a large (50 as class)
+// time step against RK4 with a far smaller step, for (a) the laser field,
+// (b/c) dipole and total energy in PURE states, (d/e) the same in MIXED
+// (finite-temperature) states.
+//
+// Paper setup: 8-atom Si, 380 nm pulse, 30 fs, dt = 50 as vs RK4 at 0.5 as.
+// Here: 2-atom Si-like cell, 380 nm pulse over a short window, PT-IM-ACE
+// dt = 1 a.u. vs RK4 dt = 0.04 a.u. (25x smaller) — the paper's claim is
+// the *agreement* between the two propagators, which is scale-free.
+
+#include <cmath>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace ptim;
+using bench::MiniSystem;
+
+namespace {
+
+struct Series {
+  std::vector<real_t> t, dipole, energy;
+};
+
+Series run_ptim(MiniSystem& sys, const td::LaserPulse& laser, real_t dt,
+                int steps) {
+  td::TdState s = sys.initial();
+  td::PtImOptions opt;
+  opt.dt = dt;
+  opt.tol = 1e-9;
+  opt.variant = td::PtImVariant::kAce;
+  opt.tol_fock = 1e-10;
+  td::PtImPropagator prop(*sys.ham, opt, &laser);
+  Series out;
+  for (int i = 0; i < steps; ++i) {
+    prop.step(s);
+    out.t.push_back(s.time);
+    out.dipole.push_back(sys.dipole_x(s));
+    out.energy.push_back(sys.energy(s));
+  }
+  return out;
+}
+
+Series run_rk4(MiniSystem& sys, const td::LaserPulse& laser, real_t dt_big,
+               int steps, int substeps) {
+  td::TdState s = sys.initial();
+  td::Rk4Options opt;
+  opt.dt = dt_big / substeps;
+  td::Rk4Propagator prop(*sys.ham, opt, &laser);
+  Series out;
+  for (int i = 0; i < steps; ++i) {
+    for (int k = 0; k < substeps; ++k) prop.step(s);
+    out.t.push_back(s.time);
+    out.dipole.push_back(sys.dipole_x(s));
+    out.energy.push_back(sys.energy(s));
+  }
+  return out;
+}
+
+void compare(const char* label, MiniSystem& sys) {
+  const real_t dt = 1.0;       // PT-IM step (50-as class in a.u. terms)
+  const int steps = 8;
+  const int substeps = 25;     // RK4 runs 25x finer
+  const real_t t_total = dt * steps;
+
+  td::LaserParams lp;
+  lp.e0 = 0.02;
+  lp.wavelength_nm = 380.0;
+  td::LaserPulse laser(lp, t_total);
+
+  std::printf("\n-- %s --\n", label);
+  std::printf("%8s %14s %14s %14s %14s %12s\n", "t (au)", "E(t) a.u.",
+              "dip PT-IM-ACE", "dip RK4", "E PT-IM-ACE", "E RK4");
+  const Series pt = run_ptim(sys, laser, dt, steps);
+  const Series rk = run_rk4(sys, laser, dt, steps, substeps);
+
+  real_t max_dip_err = 0.0, max_e_err = 0.0, dip_amp = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    std::printf("%8.2f %14.6e %14.6e %14.6e %14.8f %12.8f\n", pt.t[i],
+                laser.efield(pt.t[i]), pt.dipole[i], rk.dipole[i],
+                pt.energy[i], rk.energy[i]);
+    max_dip_err = std::max(max_dip_err, std::abs(pt.dipole[i] - rk.dipole[i]));
+    max_e_err = std::max(max_e_err, std::abs(pt.energy[i] - rk.energy[i]));
+    dip_amp = std::max(dip_amp, std::abs(rk.dipole[i]));
+  }
+  std::printf("max |dipole diff| = %.3e  (signal amplitude %.3e, rel %.2f%%)\n",
+              max_dip_err, dip_amp, 100.0 * max_dip_err / dip_amp);
+  std::printf("max |energy diff| = %.3e Ha\n", max_e_err);
+  std::printf("paper claim: PT-IM-ACE at 50 as fully matches RK4 at 0.5 as "
+              "(pure and mixed states)\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Fig. 7 — PT-IM-ACE (large step) vs RK4 (25x smaller step):\n"
+      "dipole moment along x and total energy, pure and mixed states");
+
+  {
+    MiniSystem pure = MiniSystem::make(/*T=*/0.0);
+    compare("pure states (T = 0)", pure);
+  }
+  {
+    MiniSystem mixed = MiniSystem::make(/*T=*/8000.0);
+    compare("mixed states (T = 8000 K, fractional occupations)", mixed);
+  }
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Kernel microbenchmarks (google-benchmark): the primitives whose sustained
+// rates feed the netsim platform calibration — 3-D FFTs, zgemm, exchange
+// pair evaluation, ACE application and the density builders.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "grid/fft_grid.hpp"
+#include "grid/gsphere.hpp"
+#include "ham/ace.hpp"
+#include "ham/density.hpp"
+#include "ham/exchange.hpp"
+#include "la/blas.hpp"
+#include "pw/transforms.hpp"
+#include "pw/wavefunction.hpp"
+
+using namespace ptim;
+
+namespace {
+
+la::MatC random_mat(size_t r, size_t c, unsigned seed) {
+  Rng rng(seed);
+  la::MatC m(r, c);
+  for (size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.uniform_cplx();
+  return m;
+}
+
+struct XBench {
+  grid::Lattice lattice = grid::Lattice::cubic(8.0);
+  grid::GSphere sphere{lattice, 3.0};
+  grid::FftGrid wfc{lattice, sphere.suggest_dims(1)};
+  grid::FftGrid den{lattice, sphere.suggest_dims(2)};
+  pw::SphereGridMap map{sphere, wfc};
+  pw::SphereGridMap dmap{sphere, den};
+  ham::ExchangeOperator xop{map, {}};
+};
+
+XBench& xbench() {
+  static XBench* x = new XBench();
+  return *x;
+}
+
+}  // namespace
+
+static void BM_Fft3D(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  fft::Fft3 f(n, n, n);
+  std::vector<cplx> data(f.size());
+  Rng rng(1);
+  for (auto& v : data) v = rng.uniform_cplx();
+  for (auto _ : state) {
+    f.forward(data.data());
+    f.inverse(data.data());
+    benchmark::DoNotOptimize(data.data());
+  }
+  const double ng = static_cast<double>(f.size());
+  state.counters["MFLOP/s"] = benchmark::Counter(
+      2.0 * 5.0 * ng * std::log2(ng) * 1e-6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fft3D)->Arg(16)->Arg(24)->Arg(32);
+
+static void BM_GemmCN(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const la::MatC a = random_mat(4096, n, 2);
+  const la::MatC b = random_mat(4096, n, 3);
+  la::MatC c(n, n);
+  for (auto _ : state) {
+    la::gemm_cn(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["MFLOP/s"] = benchmark::Counter(
+      8.0 * 4096.0 * static_cast<double>(n * n) * 1e-6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmCN)->Arg(8)->Arg(16)->Arg(32);
+
+static void BM_ExchangePair(benchmark::State& state) {
+  auto& x = xbench();
+  const size_t npw = x.sphere.npw();
+  la::MatC src = random_mat(npw, 1, 4);
+  pw::orthonormalize_lowdin(src);
+  la::MatC out(npw, 1);
+  const std::vector<real_t> d{1.0};
+  for (auto _ : state) {
+    x.xop.apply_diag(src, d, src, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["pairs/s"] =
+      benchmark::Counter(1.0, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExchangePair);
+
+static void BM_ExchangeApplyN(benchmark::State& state) {
+  auto& x = xbench();
+  const auto nb = static_cast<size_t>(state.range(0));
+  const size_t npw = x.sphere.npw();
+  la::MatC src = random_mat(npw, nb, 5);
+  pw::orthonormalize_lowdin(src);
+  la::MatC out(npw, nb);
+  const std::vector<real_t> d(nb, 0.5);
+  for (auto _ : state) {
+    x.xop.apply_diag(src, d, src, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["pairFFTs/s"] = benchmark::Counter(
+      static_cast<double>(2 * nb * nb), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExchangeApplyN)->Arg(2)->Arg(4)->Arg(8);
+
+static void BM_AceApply(benchmark::State& state) {
+  auto& x = xbench();
+  const auto nb = static_cast<size_t>(state.range(0));
+  const size_t npw = x.sphere.npw();
+  la::MatC src = random_mat(npw, nb, 6);
+  pw::orthonormalize_lowdin(src);
+  la::MatC w(npw, nb);
+  x.xop.apply_diag(src, std::vector<real_t>(nb, 0.5), src, w);
+  const auto ace = ham::AceOperator::build(src, w);
+  la::MatC out(npw, nb);
+  for (auto _ : state) {
+    ace.apply(src, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_AceApply)->Arg(4)->Arg(8);
+
+static void BM_DensitySigma(benchmark::State& state) {
+  auto& x = xbench();
+  const auto nb = static_cast<size_t>(state.range(0));
+  const size_t npw = x.sphere.npw();
+  la::MatC phi = random_mat(npw, nb, 7);
+  pw::orthonormalize_lowdin(phi);
+  la::MatC sigma(nb, nb);
+  for (size_t i = 0; i < nb; ++i) sigma(i, i) = 0.5;
+  for (auto _ : state) {
+    auto rho = ham::density_sigma(phi, sigma, x.dmap);
+    benchmark::DoNotOptimize(rho.data());
+  }
+}
+BENCHMARK(BM_DensitySigma)->Arg(4)->Arg(8);

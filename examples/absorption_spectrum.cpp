@@ -1,0 +1,63 @@
+// Optical absorption from real-time propagation — the classic rt-TDDFT
+// application cited in the paper's introduction: apply a weak delta-kick
+// (sudden uniform vector-potential boost), record the dipole, and Fourier
+// transform to obtain the absorption strength function.
+//
+// Demonstrates that the propagator works with *any* initial perturbation,
+// not only the Gaussian pulse, and exercises the velocity-gauge coupling.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "td/observables.hpp"
+
+using namespace ptim;
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 48;
+
+  core::SystemSpec spec;
+  spec.ecut = 2.0;
+  spec.temperature_k = 0.0;  // pure states: sharp spectral lines
+  spec.scf.tol_rho = 1e-7;
+  core::Simulation sim(spec);
+  sim.prepare_ground_state();
+
+  // Delta kick: constant A0 along x for t > 0 (velocity gauge).
+  const real_t kick = 2e-3;
+  sim.hamiltonian().set_vector_potential({kick, 0.0, 0.0});
+
+  td::PtImOptions opt;
+  opt.dt = 1.5;
+  opt.variant = td::PtImVariant::kAce;
+  auto prop = sim.make_ptim(opt);  // no laser: A stays at the kick value
+  auto state = sim.initial_state();
+
+  std::vector<real_t> t, d;
+  const real_t d0 = sim.dipole_x(state);
+  for (int i = 0; i < steps; ++i) {
+    prop->step(state);
+    // make_ptim without a laser leaves A untouched — re-assert the kick
+    // in case a propagator variant reset it.
+    t.push_back(state.time);
+    d.push_back(sim.dipole_x(state) - d0);
+  }
+
+  // Discrete Fourier transform of the dipole response with a Hann window.
+  std::printf("# absorption strength S(w) ~ w * Im[ d(w) ] / kick\n");
+  std::printf("%12s %12s %14s\n", "omega (Ha)", "omega (eV)", "S(w) (arb)");
+  const real_t t_max = t.back();
+  for (real_t w = 0.05; w <= 1.2; w += 0.025) {
+    cplx dw = 0.0;
+    for (size_t i = 0; i < t.size(); ++i) {
+      const real_t window = 0.5 * (1.0 + std::cos(kPi * t[i] / t_max));
+      dw += d[i] * window * std::exp(cplx(0.0, w * t[i])) * opt.dt;
+    }
+    const real_t s = w * std::imag(dw) / kick;
+    std::printf("%12.4f %12.4f %14.6e\n", w, w * units::hartree_in_ev, s);
+  }
+  std::printf("# peaks mark dipole-allowed transitions of the cell\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Laser-driven carrier excitation at finite temperature — the paper's
+// motivating workload (nonlinear optical excitation, Fig. 7/8 setup):
+// a silicon cell at 8000 K under a 380 nm Gaussian pulse, propagated with
+// PT-IM-ACE; writes a CSV time series of field, dipole, energy and
+// occupation-matrix diagnostics to laser_excitation.csv.
+
+#include <cstdio>
+
+#include "core/simulation.hpp"
+#include "td/observables.hpp"
+
+using namespace ptim;
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 12;
+
+  core::SystemSpec spec;
+  spec.ecut = 2.0;
+  spec.temperature_k = 8000.0;
+  spec.extra_states_per_atom = 1.0;  // paper's accuracy-test setting
+  spec.scf.tol_rho = 1e-6;
+  core::Simulation sim(spec);
+  sim.prepare_ground_state();
+
+  const real_t dt = 2.0;
+  td::LaserParams lp;
+  lp.e0 = 0.02;
+  lp.wavelength_nm = 380.0;
+  const auto* laser = sim.set_laser(lp, dt * steps);
+
+  td::PtImOptions opt;
+  opt.dt = dt;
+  opt.variant = td::PtImVariant::kAce;
+  auto prop = sim.make_ptim(opt);
+  auto state = sim.initial_state();
+
+  std::FILE* csv = std::fopen("laser_excitation.csv", "w");
+  std::fprintf(csv,
+               "t_fs,efield,Ax,dipole_x,energy,sigma_trace,"
+               "sigma_offdiag_02_re,sigma_offdiag_02_im,idempotency\n");
+  auto record = [&] {
+    std::fprintf(csv, "%.6f,%.8e,%.8e,%.8e,%.10f,%.8f,%.8e,%.8e,%.6f\n",
+                 state.time * units::au_time_fs, laser->efield(state.time),
+                 laser->vector_potential(state.time)[0], sim.dipole_x(state),
+                 sim.energy(state).total(), td::sigma_trace(state.sigma),
+                 std::real(state.sigma(0, 2)), std::imag(state.sigma(0, 2)),
+                 td::sigma_idempotency_defect(state.sigma));
+  };
+  record();
+
+  std::printf("propagating %d PT-IM-ACE steps of %.1f as at 8000 K...\n",
+              steps, dt * units::au_time_as);
+  for (int i = 0; i < steps; ++i) {
+    const auto stats = prop->step(state);
+    record();
+    std::printf("  step %2d  t=%6.3f fs  scf=%2d  Vx=%d  residual=%.1e\n",
+                i + 1, state.time * units::au_time_fs, stats.scf_iterations,
+                stats.exchange_applications, stats.residual);
+  }
+  std::fclose(csv);
+  std::printf("wrote laser_excitation.csv\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Scaling explorer: interactive front-end to the performance model.
+//
+//   scaling_explorer [atoms] [nodes] [arm|gpu]
+//
+// Prints the predicted per-step cost breakdown for every PT-IM variant at
+// the requested scale — the tool a user would reach for before requesting
+// an allocation, and the generator behind Figs. 9-11 / Table I.
+
+#include <cstdio>
+#include <cstring>
+
+#include "netsim/model.hpp"
+
+using namespace ptim;
+using namespace ptim::netsim;
+
+int main(int argc, char** argv) {
+  const size_t atoms = argc > 1 ? static_cast<size_t>(std::atol(argv[1])) : 1536;
+  const size_t nodes = argc > 2 ? static_cast<size_t>(std::atol(argv[2])) : 96;
+  const bool arm = argc > 3 && std::strcmp(argv[3], "arm") == 0;
+  const Platform plat = arm ? Platform::fugaku_arm() : Platform::gpu_a100();
+
+  const SystemSize sys = SystemSize::silicon(atoms);
+  std::printf("platform: %s\n", plat.name.c_str());
+  std::printf("system:   %zu Si atoms, N = %zu orbitals, Ng = %zu "
+              "(wavefunction grid)\n",
+              sys.natoms, sys.norbitals, sys.ng_wfc);
+  std::printf("layout:   %zu nodes x %d ranks, ~%zu bands per rank\n\n",
+              nodes, plat.ranks_per_node,
+              sys.norbitals / (nodes * static_cast<size_t>(plat.ranks_per_node)) + 1);
+
+  std::printf("%-7s %10s | %9s %9s %8s %8s %9s %7s | %9s %7s\n", "variant",
+              "step (s)", "exchange", "ace-gemm", "density", "local-H",
+              "subspace", "mixing", "comm (s)", "ratio");
+  for (const Variant v : {Variant::kBaseline, Variant::kDiag, Variant::kAce,
+                          Variant::kRing, Variant::kAsyncRing}) {
+    const StepCost c = predict_step(plat, sys, nodes, v);
+    std::printf("%-7s %10.2f | %9.2f %9.2f %8.2f %8.2f %9.2f %7.2f |"
+                " %9.2f %6.1f%%\n",
+                variant_name(v), c.total(), c.compute.exchange,
+                c.compute.ace_gemm, c.compute.density, c.compute.local_h,
+                c.compute.subspace, c.compute.mixing, c.comm.total(),
+                100.0 * c.comm_ratio());
+  }
+
+  std::printf("\ncomm detail (Async variant):\n");
+  const StepCost c = predict_step(plat, sys, nodes, Variant::kAsyncRing);
+  std::printf("  Alltoallv %.2f  Wait %.2f  Allgatherv %.2f  Allreduce %.2f\n",
+              c.comm.alltoallv, c.comm.wait, c.comm.allgatherv,
+              c.comm.allreduce);
+  std::printf("\nusage: scaling_explorer [atoms] [nodes] [arm|gpu]\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+#pragma once
+// Error handling: a library-wide exception type plus check macros.
+//
+// Following the C++ Core Guidelines (E.2/E.3) the library reports violated
+// preconditions and numerical failures by throwing; callers that cannot
+// continue simply let the exception propagate to main.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ptim {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace ptim
+
+// PTIM_CHECK(cond) / PTIM_CHECK_MSG(cond, "context"): always-on invariant
+// checks on non-hot paths (argument validation, setup code).
+#define PTIM_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::ptim::detail::throw_check_failure(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define PTIM_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream os_;                                                \
+      os_ << msg;                                                            \
+      ::ptim::detail::throw_check_failure(#cond, __FILE__, __LINE__,         \
+                                          os_.str());                        \
+    }                                                                        \
+  } while (0)

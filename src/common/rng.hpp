@@ -1,0 +1,54 @@
+#pragma once
+// Deterministic pseudo-random numbers (xoshiro256**): used for reproducible
+// initial wavefunction guesses and property-test inputs. We avoid
+// std::mt19937 so that streams are identical across standard libraries.
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace ptim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9e3779b97f4a7c15ull;
+      std::uint64_t w = z;
+      w = (w ^ (w >> 30)) * 0xbf58476d1ce4e5b9ull;
+      w = (w ^ (w >> 27)) * 0x94d049bb133111ebull;
+      s = w ^ (w >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  real_t uniform() {
+    return static_cast<real_t>(next_u64() >> 11) * 0x1.0p-53;
+  }
+  // Uniform in [lo, hi).
+  real_t uniform(real_t lo, real_t hi) { return lo + (hi - lo) * uniform(); }
+  // Complex with independent uniform components in [-1, 1).
+  cplx uniform_cplx() { return {uniform(-1.0, 1.0), uniform(-1.0, 1.0)}; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace ptim

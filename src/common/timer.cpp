@@ -1,0 +1,33 @@
+#include "common/timer.hpp"
+
+namespace ptim {
+
+ProfileRegistry& ProfileRegistry::instance() {
+  static ProfileRegistry reg;
+  return reg;
+}
+
+void ProfileRegistry::add(const std::string& name, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& e = entries_[name];
+  e.count += 1;
+  e.seconds += seconds;
+}
+
+ProfileEntry ProfileRegistry::get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? ProfileEntry{} : it->second;
+}
+
+std::map<std::string, ProfileEntry> ProfileRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+void ProfileRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace ptim

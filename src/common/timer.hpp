@@ -1,0 +1,62 @@
+#pragma once
+// Wall-clock timing and a process-wide profiling registry.
+//
+// The registry mirrors what PWDFT's internal timers provide: named sections
+// accumulate (count, seconds); benches read them back to print per-stage
+// breakdowns (e.g. Fock exchange vs density vs mixing, or per-MPI-op time
+// for the Table I reproduction).
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace ptim {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+struct ProfileEntry {
+  long count = 0;
+  double seconds = 0.0;
+};
+
+// Thread-safe accumulation of named timing sections.
+class ProfileRegistry {
+ public:
+  static ProfileRegistry& instance();
+
+  void add(const std::string& name, double seconds);
+  ProfileEntry get(const std::string& name) const;
+  std::map<std::string, ProfileEntry> snapshot() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, ProfileEntry> entries_;
+};
+
+// RAII section timer: accumulates into the registry on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string name) : name_(std::move(name)) {}
+  ~ScopedTimer() { ProfileRegistry::instance().add(name_, timer_.seconds()); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string name_;
+  Timer timer_;
+};
+
+}  // namespace ptim

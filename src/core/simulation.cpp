@@ -1,0 +1,79 @@
+#include "core/simulation.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "ham/density.hpp"
+#include "td/observables.hpp"
+
+namespace ptim::core {
+
+Simulation::Simulation(SystemSpec spec) : spec_(spec) {
+  grid::Lattice tmp = grid::Lattice::cubic(1.0);
+  atoms_ = pseudo::silicon_supercell(spec.nx, spec.ny, spec.nz, &tmp);
+  lattice_ = std::make_unique<grid::Lattice>(tmp);
+
+  sphere_ = std::make_unique<grid::GSphere>(*lattice_, spec.ecut);
+  wfc_grid_ =
+      std::make_unique<grid::FftGrid>(*lattice_, sphere_->suggest_dims(1));
+  den_grid_ =
+      std::make_unique<grid::FftGrid>(*lattice_, sphere_->suggest_dims(2));
+  h_ = std::make_unique<ham::Hamiltonian>(*lattice_, atoms_, *sphere_,
+                                          *wfc_grid_, *den_grid_, spec.ham);
+
+  nelec_ = atoms_.total_charge();
+  const auto extra = static_cast<size_t>(std::lround(
+      spec.extra_states_per_atom * static_cast<real_t>(atoms_.natoms())));
+  nbands_ = static_cast<size_t>(nelec_ / 2.0) + std::max<size_t>(extra, 1);
+  PTIM_CHECK_MSG(nbands_ <= sphere_->npw(),
+                 "SystemSpec: more bands than plane waves — raise ecut");
+}
+
+const gs::ScfResult& Simulation::prepare_ground_state() {
+  gs::ScfOptions opt = spec_.scf;
+  opt.nbands = nbands_;
+  opt.nelec = nelec_;
+  opt.temperature_k = spec_.temperature_k;
+  gs_ = gs::ground_state(*h_, opt);
+  gs_done_ = true;
+  return gs_;
+}
+
+const gs::ScfResult& Simulation::ground_state() const {
+  PTIM_CHECK_MSG(gs_done_, "call prepare_ground_state() first");
+  return gs_;
+}
+
+td::TdState Simulation::initial_state() const {
+  const auto& g = ground_state();
+  return td::TdState::from_occupations(g.phi, g.occ);
+}
+
+const td::LaserPulse* Simulation::set_laser(td::LaserParams p, real_t t_max) {
+  laser_ = std::make_unique<td::LaserPulse>(p, t_max);
+  return laser_.get();
+}
+
+std::unique_ptr<td::PtImPropagator> Simulation::make_ptim(td::PtImOptions opt) {
+  return std::make_unique<td::PtImPropagator>(*h_, opt, laser_.get());
+}
+
+std::unique_ptr<td::Rk4Propagator> Simulation::make_rk4(td::Rk4Options opt) {
+  return std::make_unique<td::Rk4Propagator>(*h_, opt, laser_.get());
+}
+
+std::vector<real_t> Simulation::density(const td::TdState& s) const {
+  return ham::density_sigma(s.phi, s.sigma, h_->den_map());
+}
+
+real_t Simulation::dipole(const td::TdState& s, const grid::Vec3& dir) const {
+  return td::dipole(density(s), *den_grid_, dir);
+}
+
+ham::EnergyTerms Simulation::energy(const td::TdState& s) const {
+  const std::vector<real_t> rho = density(s);
+  h_->set_density(rho);
+  return h_->energy(s.phi, s.sigma, rho);
+}
+
+}  // namespace ptim::core

@@ -1,0 +1,212 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptim::fft {
+
+namespace {
+
+bool factors_into_small_primes(size_t n) {
+  for (size_t p : {size_t{2}, size_t{3}, size_t{5}, size_t{7}})
+    while (n % p == 0) n /= p;
+  return n == 1;
+}
+
+size_t smallest_prime_factor(size_t n) {
+  for (size_t p : {size_t{2}, size_t{3}, size_t{5}, size_t{7}})
+    if (n % p == 0) return p;
+  for (size_t p = 11; p * p <= n; p += 2)
+    if (n % p == 0) return p;
+  return n;
+}
+
+}  // namespace
+
+bool fft_size_ok(size_t n) { return n >= 1 && factors_into_small_primes(n); }
+
+size_t next_fft_size(size_t n) {
+  if (n < 1) return 1;
+  while (!factors_into_small_primes(n)) ++n;
+  return n;
+}
+
+Plan1D::Plan1D(size_t n) : n_(n) {
+  PTIM_CHECK_MSG(n >= 1, "Plan1D: size must be positive");
+  tw_.resize(n);
+  for (size_t k = 0; k < n; ++k) {
+    const real_t ang = -kTwoPi * static_cast<real_t>(k) / static_cast<real_t>(n);
+    tw_[k] = {std::cos(ang), std::sin(ang)};
+  }
+  use_bluestein_ = !factors_into_small_primes(n) && n > 1;
+  if (use_bluestein_) {
+    m_ = 1;
+    while (m_ < 2 * n - 1) m_ *= 2;
+    conv_plan_ = std::make_unique<Plan1D>(m_);
+    chirp_.resize(n);
+    for (size_t k = 0; k < n; ++k) {
+      // e^{-i pi k^2 / n}; reduce k^2 mod 2n to keep the angle accurate.
+      const size_t k2 = (k * k) % (2 * n);
+      const real_t ang = -kPi * static_cast<real_t>(k2) / static_cast<real_t>(n);
+      chirp_[k] = {std::cos(ang), std::sin(ang)};
+    }
+    // Filter b_j = conj(chirp) extended circularly; precompute its FFT.
+    std::vector<cplx> b(m_, cplx(0.0));
+    b[0] = std::conj(chirp_[0]);
+    for (size_t k = 1; k < n; ++k) {
+      b[k] = std::conj(chirp_[k]);
+      b[m_ - k] = std::conj(chirp_[k]);
+    }
+    bfft_.resize(m_);
+    conv_plan_->forward(b.data(), bfft_.data());
+  }
+}
+
+void Plan1D::forward(const cplx* in, cplx* out) const { transform(in, out, true); }
+
+void Plan1D::inverse_unscaled(const cplx* in, cplx* out) const {
+  transform(in, out, false);
+}
+
+void Plan1D::inverse(const cplx* in, cplx* out) const {
+  transform(in, out, false);
+  const real_t inv = 1.0 / static_cast<real_t>(n_);
+  for (size_t i = 0; i < n_; ++i) out[i] *= inv;
+}
+
+void Plan1D::transform(const cplx* in, cplx* out, bool fwd) const {
+  if (n_ == 1) {
+    out[0] = in[0];
+    return;
+  }
+  if (in == out) {
+    std::vector<cplx> tmp(in, in + n_);
+    transform(tmp.data(), out, fwd);
+    return;
+  }
+  if (use_bluestein_)
+    bluestein(in, out, fwd);
+  else
+    recurse(n_, in, 1, out, 1, fwd);
+}
+
+// DFT_n of the input viewed with the given stride; tw_step maps local
+// twiddle index k to the top-level root table: w_n^k == tw_[k * tw_step]
+// (conjugated for the inverse transform).
+void Plan1D::recurse(size_t n, const cplx* in, size_t stride, cplx* out,
+                     size_t tw_step, bool fwd) const {
+  auto root = [&](size_t idx) -> cplx {
+    const cplx w = tw_[idx % n_];
+    return fwd ? w : std::conj(w);
+  };
+
+  if (n <= 7 || smallest_prime_factor(n) == n) {
+    // Direct small DFT.
+    for (size_t k = 0; k < n; ++k) {
+      cplx acc = 0.0;
+      for (size_t j = 0; j < n; ++j) acc += root(j * k * tw_step) * in[j * stride];
+      out[k] = acc;
+    }
+    return;
+  }
+
+  const size_t r = smallest_prime_factor(n);
+  const size_t m = n / r;
+  // Sub-transforms of the r decimated sequences, each written contiguously.
+  for (size_t j = 0; j < r; ++j)
+    recurse(m, in + j * stride, stride * r, out + j * m, tw_step * r, fwd);
+
+  // Butterfly combine: X[q*m + k2] = sum_j w_n^{j(q*m+k2)} Y_j[k2].
+  cplx tmp[8];
+  for (size_t k2 = 0; k2 < m; ++k2) {
+    for (size_t q = 0; q < r; ++q) {
+      cplx acc = 0.0;
+      const size_t kk = q * m + k2;
+      for (size_t j = 0; j < r; ++j)
+        acc += root(j * kk * tw_step) * out[j * m + k2];
+      tmp[q] = acc;
+    }
+    for (size_t q = 0; q < r; ++q) out[q * m + k2] = tmp[q];
+  }
+}
+
+void Plan1D::bluestein(const cplx* in, cplx* out, bool fwd) const {
+  const size_t n = n_;
+  std::vector<cplx> a(m_, cplx(0.0)), afft(m_);
+  for (size_t k = 0; k < n; ++k) {
+    const cplx c = fwd ? chirp_[k] : std::conj(chirp_[k]);
+    a[k] = in[k] * c;
+  }
+  conv_plan_->forward(a.data(), afft.data());
+  if (fwd) {
+    for (size_t k = 0; k < m_; ++k) afft[k] *= bfft_[k];
+  } else {
+    // Inverse chirp filter is the conjugate; its FFT is index-reversed conj.
+    for (size_t k = 0; k < m_; ++k) {
+      const size_t rk = (m_ - k) % m_;
+      afft[k] *= std::conj(bfft_[rk]);
+    }
+  }
+  conv_plan_->inverse(afft.data(), a.data());
+  for (size_t k = 0; k < n; ++k) {
+    const cplx c = fwd ? chirp_[k] : std::conj(chirp_[k]);
+    out[k] = a[k] * c;
+  }
+}
+
+Fft3::Fft3(size_t n0, size_t n1, size_t n2)
+    : n0_(n0), n1_(n1), n2_(n2), p0_(n0), p1_(n1), p2_(n2) {}
+
+void Fft3::forward(cplx* data) const { transform(data, Dir::kForward); }
+
+void Fft3::inverse(cplx* data) const {
+  transform(data, Dir::kInverse);
+  const real_t s = 1.0 / static_cast<real_t>(size());
+  const size_t ng = size();
+  for (size_t i = 0; i < ng; ++i) data[i] *= s;
+}
+
+void Fft3::transform(cplx* data, Dir dir) const {
+  const bool fwd = dir == Dir::kForward;
+  auto run1d = [&](const Plan1D& p, const cplx* in, cplx* out) {
+    if (fwd)
+      p.forward(in, out);
+    else
+      p.inverse_unscaled(in, out);
+  };
+
+  // Axis 0: contiguous lines.
+#pragma omp parallel for schedule(static)
+  for (size_t l = 0; l < n1_ * n2_; ++l) {
+    std::vector<cplx> buf(n0_);
+    cplx* line = data + l * n0_;
+    run1d(p0_, line, buf.data());
+    std::copy(buf.begin(), buf.end(), line);
+  }
+
+  // Axis 1: stride n0 within each i2-plane.
+#pragma omp parallel for schedule(static) collapse(2)
+  for (size_t i2 = 0; i2 < n2_; ++i2) {
+    for (size_t i0 = 0; i0 < n0_; ++i0) {
+      std::vector<cplx> gather(n1_), buf(n1_);
+      cplx* base = data + i0 + i2 * n0_ * n1_;
+      for (size_t i1 = 0; i1 < n1_; ++i1) gather[i1] = base[i1 * n0_];
+      run1d(p1_, gather.data(), buf.data());
+      for (size_t i1 = 0; i1 < n1_; ++i1) base[i1 * n0_] = buf[i1];
+    }
+  }
+
+  // Axis 2: stride n0*n1.
+  const size_t plane = n0_ * n1_;
+#pragma omp parallel for schedule(static)
+  for (size_t l = 0; l < plane; ++l) {
+    std::vector<cplx> gather(n2_), buf(n2_);
+    cplx* base = data + l;
+    for (size_t i2 = 0; i2 < n2_; ++i2) gather[i2] = base[i2 * plane];
+    run1d(p2_, gather.data(), buf.data());
+    for (size_t i2 = 0; i2 < n2_; ++i2) base[i2 * plane] = buf[i2];
+  }
+}
+
+}  // namespace ptim::fft

@@ -1,0 +1,18 @@
+#include "grid/fft_grid.hpp"
+
+#include "common/error.hpp"
+
+namespace ptim::grid {
+
+FftGrid::FftGrid(const Lattice& lattice, std::array<size_t, 3> dims)
+    : lattice_(&lattice), dims_(dims), fft_(dims[0], dims[1], dims[2]) {
+  for (int d = 0; d < 3; ++d)
+    PTIM_CHECK_MSG(fft::fft_size_ok(dims_[static_cast<size_t>(d)]),
+                   "FftGrid: dim " << d << " = "
+                                   << dims_[static_cast<size_t>(d)]
+                                   << " is not FFT-friendly");
+  g2_.resize(size());
+  for (size_t i = 0; i < size(); ++i) g2_[i] = norm2(gvec(i));
+}
+
+}  // namespace ptim::grid

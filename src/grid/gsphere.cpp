@@ -1,0 +1,75 @@
+#include "grid/gsphere.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptim::grid {
+
+GSphere::GSphere(const Lattice& lattice, real_t ecut)
+    : lattice_(&lattice), ecut_(ecut) {
+  PTIM_CHECK_MSG(ecut > 0.0, "GSphere: ecut must be positive");
+  const real_t gmax = std::sqrt(2.0 * ecut);
+
+  // Conservative frequency bounds from the reciprocal cell metric.
+  int bound[3];
+  for (int d = 0; d < 3; ++d) {
+    const real_t blen = std::sqrt(norm2(lattice.bvec(d)));
+    bound[d] = static_cast<int>(std::ceil(gmax / blen)) + 1;
+  }
+
+  for (int f2 = -bound[2]; f2 <= bound[2]; ++f2)
+    for (int f1 = -bound[1]; f1 <= bound[1]; ++f1)
+      for (int f0 = -bound[0]; f0 <= bound[0]; ++f0) {
+        const real_t g2v = norm2(lattice.gvec(f0, f1, f2));
+        if (0.5 * g2v <= ecut) freqs_.push_back({f0, f1, f2});
+      }
+
+  // Deterministic order: ascending |G|^2, ties by lexicographic frequency.
+  std::sort(freqs_.begin(), freqs_.end(),
+            [&](const std::array<int, 3>& a, const std::array<int, 3>& b) {
+              const real_t ga = norm2(lattice.gvec(a[0], a[1], a[2]));
+              const real_t gb = norm2(lattice.gvec(b[0], b[1], b[2]));
+              if (ga != gb) return ga < gb;
+              return a < b;
+            });
+
+  g2_.resize(freqs_.size());
+  for (size_t i = 0; i < freqs_.size(); ++i) {
+    g2_[i] = norm2(lattice.gvec(freqs_[i][0], freqs_[i][1], freqs_[i][2]));
+    for (int d = 0; d < 3; ++d)
+      fmax_[static_cast<size_t>(d)] = std::max(
+          fmax_[static_cast<size_t>(d)], std::abs(freqs_[i][static_cast<size_t>(d)]));
+  }
+}
+
+std::vector<size_t> GSphere::map_to(const FftGrid& g) const {
+  const auto& dims = g.dims();
+  for (int d = 0; d < 3; ++d)
+    PTIM_CHECK_MSG(
+        dims[static_cast<size_t>(d)] >=
+            static_cast<size_t>(2 * fmax_[static_cast<size_t>(d)] + 1),
+        "GSphere::map_to: grid dim " << d << " too small for the sphere");
+  std::vector<size_t> map(npw());
+  for (size_t i = 0; i < npw(); ++i) {
+    size_t idx[3];
+    for (int d = 0; d < 3; ++d) {
+      const int f = freqs_[i][static_cast<size_t>(d)];
+      const auto n = static_cast<long>(dims[static_cast<size_t>(d)]);
+      idx[d] = static_cast<size_t>(f >= 0 ? f : n + f);
+    }
+    map[i] = g.linear(idx[0], idx[1], idx[2]);
+  }
+  return map;
+}
+
+std::array<size_t, 3> GSphere::suggest_dims(int factor) const {
+  std::array<size_t, 3> dims;
+  for (int d = 0; d < 3; ++d)
+    dims[static_cast<size_t>(d)] = fft::next_fft_size(
+        static_cast<size_t>(2 * factor * fmax_[static_cast<size_t>(d)] + 1));
+  return dims;
+}
+
+}  // namespace ptim::grid

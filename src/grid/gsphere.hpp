@@ -1,0 +1,46 @@
+#pragma once
+// The plane-wave sphere: all G with |G|^2/2 <= E_cut. Wavefunction
+// coefficients live on this compressed index set; scatter/gather maps embed
+// them into any FftGrid large enough to hold the sphere.
+
+#include <array>
+#include <vector>
+
+#include "grid/fft_grid.hpp"
+#include "grid/lattice.hpp"
+
+namespace ptim::grid {
+
+class GSphere {
+ public:
+  GSphere(const Lattice& lattice, real_t ecut);
+
+  real_t ecut() const { return ecut_; }
+  size_t npw() const { return freqs_.size(); }
+  const std::vector<std::array<int, 3>>& freqs() const { return freqs_; }
+  const std::vector<real_t>& g2() const { return g2_; }
+  Vec3 gvec(size_t i) const {
+    return lattice_->gvec(freqs_[i][0], freqs_[i][1], freqs_[i][2]);
+  }
+  const Lattice& lattice() const { return *lattice_; }
+
+  // Max |frequency| along each dimension; a grid needs dims >= 2*fmax+1 to
+  // hold the sphere without wrap-around collisions.
+  std::array<int, 3> fmax() const { return fmax_; }
+
+  // Linear indices of each sphere element in the given grid.
+  std::vector<size_t> map_to(const FftGrid& g) const;
+
+  // Suggested FFT-friendly dims: factor=1 for the wavefunction grid
+  // (2*fmax+1), factor=2 for the density grid (4*fmax+1).
+  std::array<size_t, 3> suggest_dims(int factor) const;
+
+ private:
+  const Lattice* lattice_;
+  real_t ecut_;
+  std::vector<std::array<int, 3>> freqs_;
+  std::vector<real_t> g2_;
+  std::array<int, 3> fmax_{0, 0, 0};
+};
+
+}  // namespace ptim::grid

@@ -1,0 +1,27 @@
+#include "grid/lattice.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptim::grid {
+
+namespace {
+Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2],
+          a[0] * b[1] - a[1] * b[0]};
+}
+}  // namespace
+
+Lattice::Lattice(const Vec3& a0, const Vec3& a1, const Vec3& a2)
+    : a_{a0, a1, a2} {
+  const Vec3 a12 = cross(a1, a2);
+  volume_ = dot(a0, a12);
+  PTIM_CHECK_MSG(volume_ > 1e-12, "Lattice: cell volume must be positive");
+  const real_t f = kTwoPi / volume_;
+  b_[0] = f * a12;
+  b_[1] = f * cross(a2, a0);
+  b_[2] = f * cross(a0, a1);
+}
+
+}  // namespace ptim::grid

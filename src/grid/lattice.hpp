@@ -1,0 +1,70 @@
+#pragma once
+// Simulation cell: real-space lattice vectors, reciprocal vectors and
+// volume. Supercells of the conventional 8-atom diamond-cubic silicon cell
+// (a = 5.43 Angstrom) are the paper's physical systems.
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace ptim::grid {
+
+// A real 3-vector. A named struct (not an std::array alias) so that the
+// arithmetic operators below are found by ADL from every module.
+struct Vec3 {
+  real_t v[3]{0.0, 0.0, 0.0};
+  real_t& operator[](int i) { return v[i]; }
+  const real_t& operator[](int i) const { return v[i]; }
+  real_t& operator[](size_t i) { return v[i]; }
+  const real_t& operator[](size_t i) const { return v[i]; }
+};
+
+inline Vec3 operator+(const Vec3& a, const Vec3& b) {
+  return {a[0] + b[0], a[1] + b[1], a[2] + b[2]};
+}
+inline Vec3 operator-(const Vec3& a, const Vec3& b) {
+  return {a[0] - b[0], a[1] - b[1], a[2] - b[2]};
+}
+inline Vec3 operator*(real_t s, const Vec3& a) {
+  return {s * a[0], s * a[1], s * a[2]};
+}
+inline real_t dot(const Vec3& a, const Vec3& b) {
+  return a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+}
+inline real_t norm2(const Vec3& a) { return dot(a, a); }
+
+class Lattice {
+ public:
+  // Columns a0, a1, a2 are the lattice vectors in bohr.
+  Lattice(const Vec3& a0, const Vec3& a1, const Vec3& a2);
+
+  static Lattice cubic(real_t alat) {
+    return Lattice({alat, 0, 0}, {0, alat, 0}, {0, 0, alat});
+  }
+  static Lattice orthorhombic(real_t ax, real_t ay, real_t az) {
+    return Lattice({ax, 0, 0}, {0, ay, 0}, {0, 0, az});
+  }
+
+  const Vec3& avec(int i) const { return a_[i]; }
+  const Vec3& bvec(int i) const { return b_[i]; }  // b_i . a_j = 2 pi delta_ij
+  real_t volume() const { return volume_; }
+
+  // Cartesian position of the fractional coordinate f.
+  Vec3 cart(const Vec3& frac) const {
+    return frac[0] * a_[0] + frac[1] * a_[1] + frac[2] * a_[2];
+  }
+  // Cartesian G for integer frequencies (f0, f1, f2).
+  Vec3 gvec(int f0, int f1, int f2) const {
+    return static_cast<real_t>(f0) * b_[0] + static_cast<real_t>(f1) * b_[1] +
+           static_cast<real_t>(f2) * b_[2];
+  }
+  // Cell center in Cartesian coordinates.
+  Vec3 center() const { return cart({0.5, 0.5, 0.5}); }
+
+ private:
+  std::array<Vec3, 3> a_;
+  std::array<Vec3, 3> b_;
+  real_t volume_ = 0.0;
+};
+
+}  // namespace ptim::grid

@@ -1,0 +1,156 @@
+#include "gs/davidson.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "la/blas.hpp"
+#include "la/eig.hpp"
+#include "la/util.hpp"
+#include "pw/wavefunction.hpp"
+
+namespace ptim::gs {
+
+namespace {
+
+// Teter–Payne–Allan style preconditioner built from the kinetic diagonal.
+real_t teter(real_t kin, real_t eref) {
+  const real_t x = kin / std::max(eref, 1e-8);
+  const real_t num = 27.0 + 18.0 * x + 12.0 * x * x + 8.0 * x * x * x;
+  return num / (num + 16.0 * x * x * x * x);
+}
+
+// Orthonormalize the columns of t against v (twice, for stability) and
+// among themselves; drops columns that lose norm. Returns kept count.
+size_t ortho_against(const la::MatC& v, la::MatC& t) {
+  const size_t npw = t.rows();
+  size_t kept = 0;
+  la::MatC out(npw, t.cols());
+  for (size_t j = 0; j < t.cols(); ++j) {
+    cplx* col = t.col(j);
+    // Normalize first so the keep/drop decision below is relative.
+    const real_t nrm0 = la::nrm2(npw, col);
+    if (nrm0 < 1e-300) continue;
+    la::scal(npw, 1.0 / nrm0, col);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t i = 0; i < v.cols(); ++i) {
+        const cplx p = la::dotc(npw, v.col(i), col);
+        la::axpy(npw, -p, v.col(i), col);
+      }
+      for (size_t i = 0; i < kept; ++i) {
+        const cplx p = la::dotc(npw, out.col(i), col);
+        la::axpy(npw, -p, out.col(i), col);
+      }
+    }
+    const real_t nrm = la::nrm2(npw, col);
+    if (nrm > 1e-8) {
+      for (size_t r = 0; r < npw; ++r) out(r, kept) = col[r] / nrm;
+      ++kept;
+    }
+  }
+  la::MatC keptm(npw, kept);
+  for (size_t j = 0; j < kept; ++j)
+    for (size_t r = 0; r < npw; ++r) keptm(r, j) = out(r, j);
+  t = std::move(keptm);
+  return kept;
+}
+
+}  // namespace
+
+DavidsonResult davidson(
+    const std::function<void(const la::MatC&, la::MatC&)>& apply_h,
+    const la::MatC& x0, const std::vector<real_t>& precond_diag,
+    DavidsonOptions opt) {
+  ScopedTimer timer("gs.davidson");
+  const size_t npw = x0.rows();
+  const size_t nb = x0.cols();
+  PTIM_CHECK(precond_diag.size() == npw);
+  if (opt.max_subspace == 0) opt.max_subspace = 6 * nb;
+
+  DavidsonResult res;
+  la::MatC v = x0;
+  pw::orthonormalize_lowdin(v);
+  la::MatC hv(npw, v.cols());
+  apply_h(v, hv);
+
+  la::MatC x(npw, nb), hx(npw, nb);
+  for (res.iterations = 1; res.iterations <= opt.max_iter; ++res.iterations) {
+    // Rayleigh–Ritz on the current subspace.
+    la::MatC a = pw::overlap(v, hv);
+    la::hermitize(a);
+    const auto eig = la::eig_herm(a);
+
+    la::MatC c(v.cols(), nb);
+    for (size_t j = 0; j < nb; ++j)
+      for (size_t i = 0; i < v.cols(); ++i) c(i, j) = eig.V(i, j);
+    la::gemm_nn(v, c, x);
+    la::gemm_nn(hv, c, hx);
+    res.eps.assign(eig.w.begin(), eig.w.begin() + static_cast<long>(nb));
+
+    // Residuals r_j = H x_j - eps_j x_j.
+    la::MatC r = hx;
+    res.resnorm.assign(nb, 0.0);
+    real_t rmax = 0.0;
+    for (size_t j = 0; j < nb; ++j) {
+      la::axpy(npw, -res.eps[j], x.col(j), r.col(j));
+      res.resnorm[j] = la::nrm2(npw, r.col(j));
+      rmax = std::max(rmax, res.resnorm[j]);
+    }
+    if (opt.verbose)
+      std::fprintf(stderr, "davidson it=%d dim=%zu rmax=%.3e\n",
+                   res.iterations, v.cols(), rmax);
+    if (rmax < opt.tol) {
+      res.converged = true;
+      break;
+    }
+
+    // Precondition the unconverged residuals.
+    la::MatC t(npw, nb);
+    size_t nt = 0;
+    for (size_t j = 0; j < nb; ++j) {
+      if (res.resnorm[j] < 0.3 * opt.tol) continue;
+      const real_t eref =
+          std::max(std::abs(res.eps[j]), real_t(0.1));
+      for (size_t g = 0; g < npw; ++g)
+        t(g, nt) = teter(precond_diag[g], eref) * r(g, j);
+      ++nt;
+    }
+    la::MatC tkeep(npw, nt);
+    for (size_t j = 0; j < nt; ++j)
+      for (size_t g = 0; g < npw; ++g) tkeep(g, j) = t(g, j);
+
+    // Restart when the subspace is full.
+    if (v.cols() + nt > opt.max_subspace) {
+      v = x;
+      hv = hx;
+    }
+
+    const size_t kept = ortho_against(v, tkeep);
+    if (kept == 0) {
+      res.converged = rmax < 10.0 * opt.tol;
+      break;
+    }
+    la::MatC ht(npw, kept);
+    apply_h(tkeep, ht);
+
+    la::MatC vnew(npw, v.cols() + kept), hvnew(npw, v.cols() + kept);
+    for (size_t j = 0; j < v.cols(); ++j)
+      for (size_t g = 0; g < npw; ++g) {
+        vnew(g, j) = v(g, j);
+        hvnew(g, j) = hv(g, j);
+      }
+    for (size_t j = 0; j < kept; ++j)
+      for (size_t g = 0; g < npw; ++g) {
+        vnew(g, v.cols() + j) = tkeep(g, j);
+        hvnew(g, v.cols() + j) = ht(g, j);
+      }
+    v = std::move(vnew);
+    hv = std::move(hvnew);
+  }
+
+  res.x = std::move(x);
+  return res;
+}
+
+}  // namespace ptim::gs

@@ -1,0 +1,36 @@
+#include "ham/hartree.hpp"
+
+#include "common/error.hpp"
+
+namespace ptim::ham {
+
+HartreeResult hartree_potential(const std::vector<real_t>& rho,
+                                const grid::FftGrid& g) {
+  const size_t ng = g.size();
+  PTIM_CHECK(rho.size() == ng);
+  std::vector<cplx> work(ng);
+  for (size_t i = 0; i < ng; ++i) work[i] = rho[i];
+  g.fft().forward(work.data());
+  const real_t inv_ng = 1.0 / static_cast<real_t>(ng);
+#pragma omp parallel for schedule(static)
+  for (size_t i = 0; i < ng; ++i) {
+    const real_t g2 = g.g2()[i];
+    // rho(G) = FFT(rho)/Ng; V(G) = 4 pi rho(G)/G^2; then unscaled inverse.
+    work[i] *= (g2 < 1e-12) ? 0.0 : kFourPi * inv_ng / g2;
+  }
+  g.fft().inverse(work.data());
+
+  HartreeResult out;
+  out.v.resize(ng);
+  real_t e = 0.0;
+  const auto scale = static_cast<real_t>(ng);  // undo the 1/Ng of inverse()
+#pragma omp parallel for reduction(+ : e) schedule(static)
+  for (size_t i = 0; i < ng; ++i) {
+    out.v[i] = std::real(work[i]) * scale;
+    e += rho[i] * out.v[i];
+  }
+  out.energy = 0.5 * e * g.dvol();
+  return out;
+}
+
+}  // namespace ptim::ham

@@ -1,0 +1,20 @@
+#pragma once
+// Hartree potential: one Poisson solve in reciprocal space,
+//   V_H(G) = 4 pi rho(G)/G^2, with the G = 0 term dropped (jellium
+// compensation of the net ionic charge).
+
+#include <vector>
+
+#include "grid/fft_grid.hpp"
+
+namespace ptim::ham {
+
+struct HartreeResult {
+  std::vector<real_t> v;  // V_H on the grid
+  real_t energy;          // (1/2) * integral rho V_H
+};
+
+HartreeResult hartree_potential(const std::vector<real_t>& rho,
+                                const grid::FftGrid& g);
+
+}  // namespace ptim::ham

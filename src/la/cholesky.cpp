@@ -1,0 +1,88 @@
+#include "la/cholesky.hpp"
+
+#include <cmath>
+
+namespace ptim::la {
+
+MatC cholesky(const MatC& A) {
+  PTIM_CHECK_MSG(A.rows() == A.cols(), "cholesky: matrix must be square");
+  const size_t n = A.rows();
+  MatC L(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    // Diagonal element.
+    real_t sum = std::real(A(j, j));
+    for (size_t k = 0; k < j; ++k) sum -= std::norm(L(j, k));
+    PTIM_CHECK_MSG(sum > 0.0, "cholesky: matrix not positive definite at row "
+                                  << j << " (pivot " << sum << ")");
+    const real_t ljj = std::sqrt(sum);
+    L(j, j) = ljj;
+    // Column below the diagonal.
+    for (size_t i = j + 1; i < n; ++i) {
+      cplx s = A(i, j);
+      for (size_t k = 0; k < j; ++k) s -= L(i, k) * std::conj(L(j, k));
+      L(i, j) = s / ljj;
+    }
+  }
+  return L;
+}
+
+void solve_lower(const MatC& L, MatC& B) {
+  const size_t n = L.rows();
+  PTIM_CHECK(B.rows() == n);
+#pragma omp parallel for schedule(static)
+  for (size_t j = 0; j < B.cols(); ++j) {
+    cplx* b = B.col(j);
+    for (size_t i = 0; i < n; ++i) {
+      cplx s = b[i];
+      for (size_t k = 0; k < i; ++k) s -= L(i, k) * b[k];
+      b[i] = s / L(i, i);
+    }
+  }
+}
+
+void solve_lower_herm(const MatC& L, MatC& B) {
+  const size_t n = L.rows();
+  PTIM_CHECK(B.rows() == n);
+#pragma omp parallel for schedule(static)
+  for (size_t j = 0; j < B.cols(); ++j) {
+    cplx* b = B.col(j);
+    for (size_t i = n; i-- > 0;) {
+      cplx s = b[i];
+      for (size_t k = i + 1; k < n; ++k) s -= std::conj(L(k, i)) * b[k];
+      b[i] = s / std::conj(L(i, i));
+    }
+  }
+}
+
+void cholesky_solve(const MatC& L, MatC& B) {
+  solve_lower(L, B);
+  solve_lower_herm(L, B);
+}
+
+void solve_upper_right(const MatC& L, MatC& B) {
+  // X * L^H = B with L^H upper triangular: (L^H)_{kj} = conj(L_{jk}), k <= j.
+  // Column j of X: X(:,j) = (B(:,j) - sum_{k<j} X(:,k) conj(L(j,k)))/conj(L(j,j)).
+  const size_t n = L.rows();
+  PTIM_CHECK(B.cols() == n);
+  const size_t m = B.rows();
+  for (size_t j = 0; j < n; ++j) {
+    cplx* xj = B.col(j);
+    for (size_t k = 0; k < j; ++k) {
+      const cplx ljk = std::conj(L(j, k));
+      if (ljk == cplx(0.0)) continue;
+      const cplx* xk = B.col(k);
+      for (size_t i = 0; i < m; ++i) xj[i] -= xk[i] * ljk;
+    }
+    const cplx d = std::conj(L(j, j));
+    for (size_t i = 0; i < m; ++i) xj[i] /= d;
+  }
+}
+
+MatC hpd_inverse(const MatC& A) {
+  const MatC L = cholesky(A);
+  MatC inv = MatC::identity(A.rows());
+  cholesky_solve(L, inv);
+  return inv;
+}
+
+}  // namespace ptim::la

@@ -1,0 +1,34 @@
+#pragma once
+// Hermitian eigensolvers.
+//
+// Two independent implementations are provided:
+//  * eig_herm       — Householder tridiagonalization + implicit-shift QL
+//                     (the production path, O(n^3) with a small constant),
+//  * eig_herm_jacobi— cyclic complex Jacobi (slower, extremely robust).
+// The test suite cross-validates one against the other on random input —
+// a deliberate redundancy since no reference LAPACK exists on this machine.
+//
+// Both return eigenvalues in ascending order with V's columns the matching
+// orthonormal eigenvectors: A = V diag(w) V^H.
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace ptim::la {
+
+struct EigResult {
+  std::vector<real_t> w;  // ascending eigenvalues
+  MatC V;                 // eigenvector columns
+};
+
+EigResult eig_herm(const MatC& A);
+EigResult eig_herm_jacobi(const MatC& A, real_t tol = 1e-13,
+                          int max_sweeps = 60);
+
+// Generalized symmetric-definite problem A x = lambda B x with B Hermitian
+// positive definite (used by LOBPCG's Rayleigh–Ritz step): reduce via the
+// Cholesky factor of B.
+EigResult eig_herm_gen(const MatC& A, const MatC& B);
+
+}  // namespace ptim::la

@@ -1,0 +1,22 @@
+// Generalized Hermitian-definite eigenproblem A x = lambda B x, reduced to
+// a standard problem with the Cholesky factor of B (LAPACK zhegv's scheme).
+
+#include "la/cholesky.hpp"
+#include "la/eig.hpp"
+
+namespace ptim::la {
+
+EigResult eig_herm_gen(const MatC& A, const MatC& B) {
+  PTIM_CHECK(A.rows() == A.cols() && A.same_shape(B));
+  const MatC L = cholesky(B);
+  // C = L^{-1} A L^{-H}
+  MatC C = A;
+  solve_lower(L, C);
+  solve_upper_right(L, C);
+  EigResult res = eig_herm(C);
+  // Back-transform eigenvectors: x = L^{-H} y (columns are B-orthonormal).
+  solve_lower_herm(L, res.V);
+  return res;
+}
+
+}  // namespace ptim::la

@@ -1,0 +1,109 @@
+// Cyclic complex Jacobi eigensolver: the robust cross-check implementation.
+// Each sweep annihilates every off-diagonal pair (p,q) with a unitary
+// rotation J = P(phi) * R(theta) where P removes the phase of A_pq and R is
+// the classical real Jacobi rotation.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "la/eig.hpp"
+
+namespace ptim::la {
+
+namespace {
+
+real_t offdiag_norm(const MatC& A) {
+  real_t acc = 0.0;
+  const size_t n = A.rows();
+  for (size_t j = 0; j < n; ++j)
+    for (size_t i = 0; i < n; ++i)
+      if (i != j) acc += std::norm(A(i, j));
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+EigResult eig_herm_jacobi(const MatC& A_in, real_t tol, int max_sweeps) {
+  PTIM_CHECK_MSG(A_in.rows() == A_in.cols(),
+                 "eig_herm_jacobi: matrix must be square");
+  const size_t n = A_in.rows();
+  MatC A = A_in;
+  MatC V = MatC::identity(n);
+
+  const real_t scale = std::max<real_t>(1.0, offdiag_norm(A));
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (offdiag_norm(A) <= tol * scale) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const cplx apq = A(p, q);
+        const real_t aapq = std::abs(apq);
+        if (aapq < 1e-300) continue;
+        const real_t app = std::real(A(p, p));
+        const real_t aqq = std::real(A(q, q));
+        const cplx phase = apq / aapq;  // A_pq = |A_pq| * phase
+
+        // Real rotation angle for the phase-stripped 2x2 block.
+        const real_t tau = (aqq - app) / (2.0 * aapq);
+        real_t t;
+        if (tau >= 0.0)
+          t = 1.0 / (tau + std::sqrt(1.0 + tau * tau));
+        else
+          t = -1.0 / (-tau + std::sqrt(1.0 + tau * tau));
+        const real_t c = 1.0 / std::sqrt(1.0 + t * t);
+        const real_t s = t * c;
+
+        // J restricted to (p,q):  J_pp = c, J_pq = s*phase,
+        //                         J_qp = -s*conj(phase)... derived so that
+        // (J^H A J)_pq = 0. We parameterize J columns directly:
+        //   col p:  (c, -s*conj(phase))   col q: (s*phase_conj?, c) —
+        // verified below by explicit construction.
+        const cplx jpp = c;
+        const cplx jqp = -s * std::conj(phase);
+        const cplx jpq = s * phase;
+        const cplx jqq = c;
+
+        // Columns update: A(:, {p,q}) <- A(:, {p,q}) * J
+        for (size_t k = 0; k < n; ++k) {
+          const cplx akp = A(k, p), akq = A(k, q);
+          A(k, p) = akp * jpp + akq * jqp;
+          A(k, q) = akp * jpq + akq * jqq;
+        }
+        // Rows update: A({p,q}, :) <- J^H * A({p,q}, :)
+        for (size_t k = 0; k < n; ++k) {
+          const cplx apk = A(p, k), aqk = A(q, k);
+          A(p, k) = std::conj(jpp) * apk + std::conj(jqp) * aqk;
+          A(q, k) = std::conj(jpq) * apk + std::conj(jqq) * aqk;
+        }
+        // Keep the matrix numerically Hermitian.
+        A(p, q) = 0.0;
+        A(q, p) = 0.0;
+        A(p, p) = std::real(A(p, p));
+        A(q, q) = std::real(A(q, q));
+
+        for (size_t k = 0; k < n; ++k) {
+          const cplx vkp = V(k, p), vkq = V(k, q);
+          V(k, p) = vkp * jpp + vkq * jqp;
+          V(k, q) = vkp * jpq + vkq * jqq;
+        }
+      }
+    }
+  }
+
+  EigResult res;
+  res.w.resize(n);
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::vector<real_t> diag(n);
+  for (size_t i = 0; i < n; ++i) diag[i] = std::real(A(i, i));
+  std::sort(idx.begin(), idx.end(),
+            [&](size_t a, size_t b) { return diag[a] < diag[b]; });
+  res.V.resize(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    res.w[j] = diag[idx[j]];
+    for (size_t i = 0; i < n; ++i) res.V(i, j) = V(i, idx[j]);
+  }
+  return res;
+}
+
+}  // namespace ptim::la

@@ -1,0 +1,49 @@
+#include "la/lsq.hpp"
+
+#include <cmath>
+
+#include "la/blas.hpp"
+
+namespace ptim::la {
+
+std::vector<cplx> lsq_solve(const MatC& A, const std::vector<cplx>& b,
+                            real_t lambda) {
+  const size_t m = A.rows(), k = A.cols();
+  PTIM_CHECK_MSG(b.size() == m, "lsq_solve: rhs length mismatch");
+
+  // Augment with sqrt(lambda)*I rows for Tikhonov regularization.
+  const size_t mr = lambda > 0.0 ? m + k : m;
+  MatC Q(mr, k);
+  for (size_t j = 0; j < k; ++j) {
+    for (size_t i = 0; i < m; ++i) Q(i, j) = A(i, j);
+    if (lambda > 0.0) Q(m + j, j) = lambda;
+  }
+  std::vector<cplx> rhs(mr, cplx(0.0));
+  for (size_t i = 0; i < m; ++i) rhs[i] = b[i];
+
+  // Modified Gram–Schmidt: Q becomes orthonormal, R upper triangular.
+  MatC R(k, k);
+  for (size_t j = 0; j < k; ++j) {
+    for (size_t i = 0; i < j; ++i) {
+      const cplx r = dotc(mr, Q.col(i), Q.col(j));
+      R(i, j) = r;
+      axpy(mr, -r, Q.col(i), Q.col(j));
+    }
+    const real_t nrm = nrm2(mr, Q.col(j));
+    PTIM_CHECK_MSG(nrm > 1e-300, "lsq_solve: rank-deficient column " << j);
+    R(j, j) = nrm;
+    scal(mr, 1.0 / nrm, Q.col(j));
+  }
+
+  // x = R^{-1} Q^H rhs.
+  std::vector<cplx> x(k);
+  for (size_t j = 0; j < k; ++j) x[j] = dotc(mr, Q.col(j), rhs.data());
+  for (size_t i = k; i-- > 0;) {
+    cplx s = x[i];
+    for (size_t j = i + 1; j < k; ++j) s -= R(i, j) * x[j];
+    x[i] = s / R(i, i);
+  }
+  return x;
+}
+
+}  // namespace ptim::la

@@ -1,0 +1,17 @@
+#pragma once
+// Small dense least squares via modified Gram–Schmidt QR with optional
+// Tikhonov regularization. Used by the Anderson mixer (history <= 20, so
+// these systems are tiny; robustness matters more than speed).
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace ptim::la {
+
+// Minimize ||A x - b||_2 (+ lambda^2 ||x||^2 when lambda > 0).
+// A is m x k with m >= k (full column rank after regularization).
+std::vector<cplx> lsq_solve(const MatC& A, const std::vector<cplx>& b,
+                            real_t lambda = 0.0);
+
+}  // namespace ptim::la

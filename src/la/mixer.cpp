@@ -1,0 +1,64 @@
+#include "la/mixer.hpp"
+
+#include "common/error.hpp"
+#include "la/lsq.hpp"
+#include "la/matrix.hpp"
+
+namespace ptim::la {
+
+AndersonMixer::AndersonMixer(size_t dim, size_t max_history, real_t beta,
+                             real_t regularization)
+    : dim_(dim), max_history_(max_history), beta_(beta), reg_(regularization) {
+  PTIM_CHECK(max_history >= 1);
+}
+
+void AndersonMixer::reset() {
+  hist_x_.clear();
+  hist_f_.clear();
+}
+
+std::vector<cplx> AndersonMixer::mix(const std::vector<cplx>& x,
+                                     const std::vector<cplx>& f) {
+  PTIM_CHECK(x.size() == dim_ && f.size() == dim_);
+  const size_t m = hist_x_.size();
+
+  std::vector<cplx> xbar = x, fbar = f;
+  if (m > 0) {
+    // Columns: f_k - f_i; rhs: f_k.
+    MatC A(dim_, m);
+    for (size_t i = 0; i < m; ++i)
+      for (size_t r = 0; r < dim_; ++r) A(r, i) = f[r] - hist_f_[i][r];
+    const std::vector<cplx> theta = lsq_solve(A, f, reg_);
+    for (size_t i = 0; i < m; ++i) {
+      const cplx th = theta[i];
+      for (size_t r = 0; r < dim_; ++r) {
+        xbar[r] -= th * (x[r] - hist_x_[i][r]);
+        fbar[r] -= th * (f[r] - hist_f_[i][r]);
+      }
+    }
+  }
+
+  hist_x_.push_back(x);
+  hist_f_.push_back(f);
+  if (hist_x_.size() > max_history_) {
+    hist_x_.pop_front();
+    hist_f_.pop_front();
+  }
+
+  std::vector<cplx> next(dim_);
+  for (size_t r = 0; r < dim_; ++r) next[r] = xbar[r] + beta_ * fbar[r];
+  return next;
+}
+
+std::vector<real_t> AndersonMixerReal::mix(const std::vector<real_t>& x,
+                                           const std::vector<real_t>& f) {
+  std::vector<cplx> xc(x.size()), fc(f.size());
+  for (size_t i = 0; i < x.size(); ++i) xc[i] = x[i];
+  for (size_t i = 0; i < f.size(); ++i) fc[i] = f[i];
+  const std::vector<cplx> next = inner_.mix(xc, fc);
+  std::vector<real_t> out(next.size());
+  for (size_t i = 0; i < next.size(); ++i) out[i] = std::real(next[i]);
+  return out;
+}
+
+}  // namespace ptim::la

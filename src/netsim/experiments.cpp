@@ -1,0 +1,102 @@
+#include "netsim/experiments.hpp"
+
+namespace ptim::netsim {
+
+std::vector<Fig9Row> fig9_stepwise(const Platform& plat, size_t natoms,
+                                   size_t nodes) {
+  const SystemSize sys = SystemSize::silicon(natoms);
+  const Variant ladder[] = {Variant::kBaseline, Variant::kDiag, Variant::kAce,
+                            Variant::kRing, Variant::kAsyncRing};
+  std::vector<Fig9Row> rows;
+  double prev = 0.0, base = 0.0;
+  for (const Variant v : ladder) {
+    const StepCost c = predict_step(plat, sys, nodes, v);
+    Fig9Row row;
+    row.variant = v;
+    row.step_seconds = c.total();
+    if (rows.empty()) {
+      base = prev = c.total();
+      row.speedup_vs_prev = 1.0;
+      row.speedup_vs_baseline = 1.0;
+    } else {
+      row.speedup_vs_prev = prev / c.total();
+      row.speedup_vs_baseline = base / c.total();
+      prev = c.total();
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<ScalingRow> fig10_strong(const Platform& plat, size_t natoms,
+                                     const std::vector<size_t>& node_counts) {
+  const SystemSize sys = SystemSize::silicon(natoms);
+  std::vector<ScalingRow> rows;
+  double t0 = 0.0;
+  size_t n0 = 0;
+  for (const size_t nodes : node_counts) {
+    const StepCost c = predict_step(plat, sys, nodes, Variant::kAsyncRing);
+    ScalingRow row;
+    row.nodes = nodes;
+    row.step_seconds = c.total();
+    if (rows.empty()) {
+      t0 = c.total();
+      n0 = nodes;
+      row.speedup = 1.0;
+      row.parallel_efficiency = 1.0;
+    } else {
+      row.speedup = t0 / c.total();
+      row.parallel_efficiency =
+          row.speedup / (static_cast<double>(nodes) / static_cast<double>(n0));
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<WeakRow> fig11_weak(const Platform& plat,
+                                const std::vector<size_t>& atom_counts,
+                                size_t orbitals_per_rank) {
+  std::vector<WeakRow> rows;
+  double anchor_t = 0.0, anchor_n = 0.0;
+  for (const size_t natoms : atom_counts) {
+    const SystemSize sys = SystemSize::silicon(natoms);
+    size_t ranks = sys.norbitals / orbitals_per_rank;
+    size_t nodes = std::max<size_t>(
+        1, ranks / static_cast<size_t>(plat.ranks_per_node));
+    const StepCost c = predict_step(plat, sys, nodes, Variant::kAsyncRing);
+    WeakRow row;
+    row.natoms = natoms;
+    row.nodes = nodes;
+    row.step_seconds = c.total();
+    const auto nn = static_cast<double>(sys.norbitals);
+    if (rows.empty()) {
+      anchor_t = c.total();
+      anchor_n = nn;
+      row.ideal_n2_seconds = c.total();
+    } else {
+      row.ideal_n2_seconds = anchor_t * (nn / anchor_n) * (nn / anchor_n);
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<Table1Row> table1_comm(const Platform& plat, size_t natoms,
+                                   size_t nodes) {
+  const SystemSize sys = SystemSize::silicon(natoms);
+  std::vector<Table1Row> rows;
+  for (const Variant v :
+       {Variant::kAce, Variant::kRing, Variant::kAsyncRing}) {
+    const StepCost c = predict_step(plat, sys, nodes, v);
+    Table1Row row;
+    row.variant = v;
+    row.comm = c.comm;
+    row.total_step = c.total();
+    row.comm_ratio = c.comm_ratio();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace ptim::netsim

@@ -1,0 +1,55 @@
+#pragma once
+// Experiment drivers: one function per paper artifact, each returning the
+// rows the corresponding bench binary prints next to the published values.
+
+#include <vector>
+
+#include "netsim/model.hpp"
+
+namespace ptim::netsim {
+
+// Fig. 9: step-by-step improvement, 384-atom Si (240 ARM / 24 GPU nodes).
+struct Fig9Row {
+  Variant variant{};
+  double step_seconds = 0.0;
+  double speedup_vs_prev = 0.0;
+  double speedup_vs_baseline = 0.0;
+};
+std::vector<Fig9Row> fig9_stepwise(const Platform& plat, size_t natoms,
+                                   size_t nodes);
+
+// Fig. 10: strong scaling (Async variant).
+struct ScalingRow {
+  size_t nodes = 0;
+  double step_seconds = 0.0;
+  double speedup = 0.0;           // vs the smallest node count
+  double parallel_efficiency = 0.0;
+};
+std::vector<ScalingRow> fig10_strong(const Platform& plat, size_t natoms,
+                                     const std::vector<size_t>& node_counts);
+
+// Fig. 11: weak scaling; nodes chosen as orbitals/ranks_per_node/orbs_per_rank
+// exactly as the paper prescribes (ARM: nodes = orbitals/4 -> 1 orbital per
+// rank; GPU: nodes = orbitals/40 -> 10 orbitals per rank).
+struct WeakRow {
+  size_t natoms = 0;
+  size_t nodes = 0;
+  double step_seconds = 0.0;
+  double ideal_n2_seconds = 0.0;  // O(N^2) reference through the first point
+};
+std::vector<WeakRow> fig11_weak(const Platform& plat,
+                                const std::vector<size_t>& atom_counts,
+                                size_t orbitals_per_rank);
+
+// Table I: per-op MPI time, 1536 atoms (960 ARM / 96 GPU nodes) for the
+// ACE (bcast), Ring and Async variants.
+struct Table1Row {
+  Variant variant{};
+  CommBreakdown comm;
+  double total_step = 0.0;
+  double comm_ratio = 0.0;
+};
+std::vector<Table1Row> table1_comm(const Platform& plat, size_t natoms,
+                                   size_t nodes);
+
+}  // namespace ptim::netsim

@@ -1,0 +1,52 @@
+#include "netsim/memory.hpp"
+
+#include <algorithm>
+
+namespace ptim::netsim {
+
+MemoryFootprint memory_per_rank(const Platform& plat, const SystemSize& sys,
+                                size_t nodes, bool use_shm,
+                                int anderson_history) {
+  MemoryFootprint m;
+  const double ranks =
+      static_cast<double>(nodes) * static_cast<double>(plat.ranks_per_node);
+  const double n = static_cast<double>(sys.norbitals);
+  const double npw = static_cast<double>(sys.npw);
+  const double nloc = std::max(1.0, n / ranks);
+  const double c16 = 16.0;  // complex double
+
+  // Band-distributed orbitals: Phi_n, Phi_{n+1}, midpoint, H*Phi, plus the
+  // Anderson history of the local block (x and f stacks).
+  const double wf_copies = 4.0 + 2.0 * anderson_history;
+  m.wavefunctions = wf_copies * c16 * npw * nloc;
+
+  // Real-space storage: density/potentials on the dense grid (real),
+  // exchange slabs (current + incoming) on the wavefunction grid.
+  m.realspace = 8.0 * 6.0 * static_cast<double>(sys.ng_den) +
+                c16 * 2.0 * static_cast<double>(sys.ng_wfc) * nloc;
+
+  // Replicated square matrices: sigma (3 time levels), S, M, plus the
+  // Anderson sigma history — the non-scalable block of Sec. IV-B3.
+  const double nsq = (5.0 + 2.0 * anderson_history) * c16 * n * n;
+  m.square_matrices =
+      use_shm ? nsq / static_cast<double>(plat.ranks_per_node) : nsq;
+
+  // ACE xi block (band-distributed) for the two operators.
+  m.ace = 2.0 * c16 * npw * nloc;
+  return m;
+}
+
+size_t max_atoms_for_memory(const Platform& plat, size_t nodes,
+                            double bytes_per_rank, bool use_shm) {
+  size_t best = 0;
+  for (size_t atoms = 8; atoms <= 65536; atoms += 8) {
+    const SystemSize sys = SystemSize::silicon(atoms);
+    if (memory_per_rank(plat, sys, nodes, use_shm).total() <= bytes_per_rank)
+      best = atoms;
+    else
+      break;
+  }
+  return best;
+}
+
+}  // namespace ptim::netsim

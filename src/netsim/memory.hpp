@@ -1,0 +1,35 @@
+#pragma once
+// Per-rank memory-footprint model (paper Sec. IV-B3 and the weak-scaling
+// discussion): distributed wavefunction storage shrinks with rank count,
+// while the N x N matrices (sigma, Phi^H Phi, Phi^H H Phi, Anderson
+// histories of sigma) are replicated per process unless placed in
+// node-shared windows — the mechanism that let the paper reach 1536 atoms
+// within Fugaku's 8 GB per CMG and 3072 atoms within 40 GB per A100.
+
+#include "netsim/platform.hpp"
+
+namespace ptim::netsim {
+
+struct MemoryFootprint {
+  double wavefunctions = 0.0;   // Phi + Anderson history (scalable, bytes)
+  double realspace = 0.0;       // grids, potentials, scratch slabs
+  double square_matrices = 0.0; // sigma, overlaps, sigma mixing history
+  double ace = 0.0;             // xi (npw x N block per rank)
+  double total() const {
+    return wavefunctions + realspace + square_matrices + ace;
+  }
+};
+
+// anderson_history: the paper uses 20 copies of the mixed quantities.
+// use_shm: place the square matrices in one node-shared copy (divides the
+// per-rank share by ranks_per_node).
+MemoryFootprint memory_per_rank(const Platform& plat, const SystemSize& sys,
+                                size_t nodes, bool use_shm,
+                                int anderson_history = 20);
+
+// Largest silicon system (atoms, multiple of 8) that fits in the given
+// per-rank memory budget at the given node count.
+size_t max_atoms_for_memory(const Platform& plat, size_t nodes,
+                            double bytes_per_rank, bool use_shm);
+
+}  // namespace ptim::netsim

@@ -1,0 +1,158 @@
+#include "netsim/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptim::netsim {
+
+const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::kBaseline: return "BL";
+    case Variant::kDiag: return "Diag";
+    case Variant::kAce: return "ACE";
+    case Variant::kRing: return "Ring";
+    case Variant::kAsyncRing: return "Async";
+  }
+  return "?";
+}
+
+namespace {
+
+double log2d(double x) { return std::log2(std::max(x, 2.0)); }
+
+struct Rates {
+  // Primitive timings per rank.
+  double fft_w, fft_d;     // one 3-D FFT on the wfc / density grid
+  double point_w, point_d; // one 16-byte-per-point streaming pass
+  double eff;              // local-batch efficiency in (0, 1]
+  double gemm_rate;
+};
+
+double fft_rate_at(const Platform& p, double ng) {
+  if (p.fft_ng_half <= 0.0) return p.fft_rate;
+  return p.fft_rate * ng / (ng + p.fft_ng_half);
+}
+
+Rates make_rates(const Platform& p, const SystemSize& s, size_t nloc) {
+  Rates r;
+  const auto ngw = static_cast<double>(s.ng_wfc);
+  const auto ngd = static_cast<double>(s.ng_den);
+  r.fft_w = 5.0 * ngw * log2d(ngw) / fft_rate_at(p, ngw);
+  r.fft_d = 5.0 * ngd * log2d(ngd) / fft_rate_at(p, ngd);
+  r.point_w = 16.0 * ngw / p.mem_bw;
+  r.point_d = 16.0 * ngd / p.mem_bw;
+  const auto nl = static_cast<double>(std::max<size_t>(nloc, 1));
+  r.eff = nl / (nl + p.eff_half_bands);
+  r.gemm_rate = p.gemm_rate;
+  return r;
+}
+
+}  // namespace
+
+StepCost predict_step(const Platform& plat, const SystemSize& sys,
+                      size_t nodes, Variant v, ScfCounts counts) {
+  PTIM_CHECK(nodes >= 1);
+  StepCost out;
+  out.variant = v;
+  out.nodes = nodes;
+  out.ranks = nodes * static_cast<size_t>(plat.ranks_per_node);
+  const double p = static_cast<double>(out.ranks);
+  const double n = static_cast<double>(sys.norbitals);
+  const double npw = static_cast<double>(sys.npw);
+  out.nloc = static_cast<size_t>(
+      std::ceil(n / p));
+  const double nloc = std::max(1.0, n / p);
+  const Rates r = make_rates(plat, sys, out.nloc);
+
+  const bool use_ace =
+      v == Variant::kAce || v == Variant::kRing || v == Variant::kAsyncRing;
+  const int n_vx = use_ace ? counts.outer : counts.plain_scf;
+  const int n_scf =
+      use_ace ? counts.outer * counts.inner_per_outer : counts.plain_scf;
+
+  // ---------------------------------------------------------- compute ----
+  // Fock exchange: per application, each rank handles N x nloc (k, j)
+  // pairs; each pair is 2 FFTs plus ~6 streaming passes on the wfc grid.
+  const double t_pair = 2.0 * r.fft_w + 6.0 * r.point_w;
+  // Baseline keeps the sigma_{ik} triple loop: N extra streaming passes
+  // (3 arrays) per pair — the N^2 -> N reduction of Sec. IV-A1.
+  const double t_pair_bl =
+      t_pair + n * plat.baseline_loop_passes * 3.0 * r.point_w;
+  const double pairs = n * nloc;
+  out.compute.exchange =
+      n_vx * pairs * (v == Variant::kBaseline ? t_pair_bl : t_pair) / r.eff;
+
+  // ACE surrogate inside the inner SCF: two tall gemms per application.
+  if (use_ace)
+    out.compute.ace_gemm =
+        n_scf * (16.0 * npw * n * nloc) / r.gemm_rate / r.eff;
+
+  // Density per SCF iteration. Baseline: naive pair loop on the dense grid
+  // (N x nloc streaming passes); optimized: 2 nloc transforms + one gemm.
+  const double density_opt =
+      2.0 * nloc * r.fft_d + (8.0 * npw * n * nloc) / r.gemm_rate;
+  const double density_bl = nloc * r.fft_d + n * nloc * 2.0 * r.point_d;
+  out.compute.density =
+      n_scf * (v == Variant::kBaseline ? density_bl : density_opt) / r.eff;
+
+  // Local H apply: two dense-grid FFTs + potential pass per local band.
+  out.compute.local_h =
+      n_scf * nloc * (2.0 * r.fft_d + 3.0 * r.point_d) / r.eff;
+
+  // Subspace work per SCF: S and M overlaps, projector gemm, sigma
+  // commutator, plus per-Vx sigma diagonalization and final ortho.
+  const double gemm_sub = 3.0 * 8.0 * npw * n * nloc / r.gemm_rate;
+  const double sigma_ops = 24.0 * n * n * n / p / r.gemm_rate;
+  const double eig_sigma = 200.0 * n * n * n / p / r.gemm_rate;
+  out.compute.subspace =
+      (n_scf * (gemm_sub + sigma_ops) + n_vx * eig_sigma +
+       16.0 * npw * n * nloc / r.gemm_rate) /
+      r.eff;
+
+  // Anderson mixing: history-20 streaming updates of {Phi, sigma}.
+  out.compute.mixing =
+      n_scf * 2.0 * 20.0 * (16.0 * npw * nloc + 16.0 * n * n / p) /
+      plat.mem_bw / r.eff;
+
+  // ------------------------------------------------------------ comm ----
+  // Orbital-slab circulation for every exact Vx application.
+  const double block_bytes = 16.0 * static_cast<double>(sys.ng_wfc) * nloc;
+  const double t_ring_step = plat.latency + block_bytes / plat.net_bw;
+  const double ring_per_vx = (p - 1.0) * t_ring_step;
+  const double bcast_per_vx =
+      p * (log2d(p) * plat.latency +
+           block_bytes * plat.bcast_penalty / plat.net_bw);
+  switch (v) {
+    case Variant::kBaseline:
+    case Variant::kDiag:
+    case Variant::kAce:
+      out.comm.bcast = n_vx * bcast_per_vx;
+      break;
+    case Variant::kRing:
+      out.comm.sendrecv = n_vx * ring_per_vx;
+      break;
+    case Variant::kAsyncRing:
+      // Partial overlap: only the un-hidden fraction shows up as Wait.
+      out.comm.wait = n_vx * ring_per_vx * (1.0 - plat.overlap_eff);
+      break;
+  }
+
+  // Per-SCF collectives: two N x N overlap reductions (Rayleigh–Ritz),
+  // two band<->grid transposes, one small allgather of band metadata.
+  const double ar_bytes = 2.0 * 16.0 * n * n;
+  out.comm.allreduce =
+      n_scf * (2.0 * ar_bytes * plat.allreduce_penalty / plat.net_bw +
+               2.0 * plat.latency * log2d(p));
+  const double a2a_bytes = 16.0 * npw * nloc;
+  out.comm.alltoallv =
+      n_scf * 2.0 *
+      (p * plat.a2a_latency + a2a_bytes * plat.a2a_penalty / plat.net_bw);
+  out.comm.allgatherv =
+      n_scf * (p * plat.gather_latency + 16.0 * n / plat.net_bw);
+
+  return out;
+}
+
+}  // namespace ptim::netsim

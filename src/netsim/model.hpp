@@ -1,0 +1,73 @@
+#pragma once
+// Analytic per-time-step cost model of the PT-IM variants, driven by
+// operation counts taken from the same algorithm structure as the real
+// solver (src/td, src/dist). This regenerates the paper's large-scale
+// results: step-by-step speedups (Fig. 9), strong/weak scaling
+// (Figs. 10/11) and the MPI time breakdown (Table I).
+//
+// Variant ladder (cumulative, exactly the paper's):
+//   kBaseline  — naive mixed-state exchange and density, Bcast circulation
+//   kDiag      — occupation-matrix diagonalization (N^2 pair cost)
+//   kAce       — ACE double loop: 5 exact Vx per step instead of 25
+//   kRing      — ACE + ring point-to-point circulation
+//   kAsyncRing — ACE + asynchronous ring (partial comm/comp overlap)
+
+#include <map>
+#include <string>
+
+#include "netsim/platform.hpp"
+
+namespace ptim::netsim {
+
+enum class Variant { kBaseline, kDiag, kAce, kRing, kAsyncRing };
+
+const char* variant_name(Variant v);
+
+struct CommBreakdown {
+  double alltoallv = 0.0;
+  double sendrecv = 0.0;
+  double wait = 0.0;
+  double allgatherv = 0.0;
+  double allreduce = 0.0;
+  double bcast = 0.0;
+  double total() const {
+    return alltoallv + sendrecv + wait + allgatherv + allreduce + bcast;
+  }
+};
+
+struct ComputeBreakdown {
+  double exchange = 0.0;   // pair FFTs + accumulation (or naive triple loop)
+  double ace_gemm = 0.0;   // ACE surrogate applications in the inner SCF
+  double density = 0.0;
+  double local_h = 0.0;    // kinetic + dense-grid local potential
+  double subspace = 0.0;   // overlaps, projector, sigma ops, diag, ortho
+  double mixing = 0.0;
+  double total() const {
+    return exchange + ace_gemm + density + local_h + subspace + mixing;
+  }
+};
+
+struct StepCost {
+  Variant variant{};
+  size_t nodes = 0;
+  size_t ranks = 0;
+  size_t nloc = 0;
+  ComputeBreakdown compute;
+  CommBreakdown comm;
+  double total() const { return compute.total() + comm.total(); }
+  double comm_ratio() const { return comm.total() / total(); }
+};
+
+// SCF structure constants (paper Sec. VI: ~25 plain SCF iterations; with
+// ACE ~5 outer x ~13 inner).
+struct ScfCounts {
+  int plain_scf = 25;
+  int outer = 5;
+  int inner_per_outer = 13;
+};
+
+// Predict one 50-as PT-IM time step.
+StepCost predict_step(const Platform& plat, const SystemSize& sys,
+                      size_t nodes, Variant v, ScfCounts counts = {});
+
+}  // namespace ptim::netsim

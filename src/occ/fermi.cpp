@@ -1,0 +1,57 @@
+#include "occ/fermi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptim::occ {
+
+real_t fermi_dirac(real_t eps, real_t mu, real_t kt) {
+  if (kt <= 0.0) return eps < mu ? 1.0 : (eps == mu ? 0.5 : 0.0);
+  const real_t x = (eps - mu) / kt;
+  if (x > 40.0) return 0.0;
+  if (x < -40.0) return 1.0;
+  return 1.0 / (1.0 + std::exp(x));
+}
+
+real_t find_mu(const std::vector<real_t>& eps, real_t nelec, real_t kt) {
+  PTIM_CHECK_MSG(!eps.empty(), "find_mu: no eigenvalues");
+  PTIM_CHECK_MSG(nelec > 0.0 &&
+                     nelec <= 2.0 * static_cast<real_t>(eps.size()) + 1e-9,
+                 "find_mu: electron count " << nelec << " not representable by "
+                                            << eps.size() << " orbitals");
+  auto count = [&](real_t mu) {
+    real_t n = 0.0;
+    for (const real_t e : eps) n += 2.0 * fermi_dirac(e, mu, kt);
+    return n;
+  };
+  real_t lo = *std::min_element(eps.begin(), eps.end()) - 10.0 * (kt + 1.0);
+  real_t hi = *std::max_element(eps.begin(), eps.end()) + 10.0 * (kt + 1.0);
+  for (int it = 0; it < 200; ++it) {
+    const real_t mid = 0.5 * (lo + hi);
+    if (count(mid) < nelec)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::vector<real_t> occupations(const std::vector<real_t>& eps, real_t mu,
+                                real_t kt) {
+  std::vector<real_t> f(eps.size());
+  for (size_t i = 0; i < eps.size(); ++i) f[i] = fermi_dirac(eps[i], mu, kt);
+  return f;
+}
+
+real_t entropy_term(const std::vector<real_t>& occ, real_t kt) {
+  real_t s = 0.0;
+  for (const real_t f : occ) {
+    if (f > 1e-14 && f < 1.0 - 1e-14)
+      s += f * std::log(f) + (1.0 - f) * std::log(1.0 - f);
+  }
+  return 2.0 * kt * s;  // note: this is -T*S with S the usual entropy
+}
+
+}  // namespace ptim::occ

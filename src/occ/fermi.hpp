@@ -1,0 +1,26 @@
+#pragma once
+// Finite-temperature occupations: Fermi–Dirac smearing with chemical
+// potential found by bisection. Occupations are per spatial orbital in
+// [0, 1]; the spin factor 2 enters the electron count and density.
+// The paper initializes its mixed states this way (T = 8000 K).
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ptim::occ {
+
+// f(eps) = 1 / (1 + exp((eps - mu)/kT)); kT in Hartree.
+real_t fermi_dirac(real_t eps, real_t mu, real_t kt);
+
+// Find mu such that 2 * sum_i f(eps_i) = nelec.
+real_t find_mu(const std::vector<real_t>& eps, real_t nelec, real_t kt);
+
+// Occupation vector for the given eigenvalues.
+std::vector<real_t> occupations(const std::vector<real_t>& eps, real_t mu,
+                                real_t kt);
+
+// Electronic entropy -2 kT sum_i [f ln f + (1-f) ln(1-f)] (Hartree).
+real_t entropy_term(const std::vector<real_t>& occ, real_t kt);
+
+}  // namespace ptim::occ

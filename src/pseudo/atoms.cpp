@@ -1,0 +1,43 @@
+#include "pseudo/atoms.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptim::pseudo {
+
+real_t silicon_alat_bohr() { return 5.43 * units::angstrom_in_bohr; }
+
+AtomList silicon_supercell(int nx, int ny, int nz, grid::Lattice* lattice) {
+  PTIM_CHECK(nx >= 1 && ny >= 1 && nz >= 1);
+  const real_t a = silicon_alat_bohr();
+  *lattice = grid::Lattice::orthorhombic(a * nx, a * ny, a * nz);
+
+  // 8-atom conventional diamond-cubic basis (fractional coords of one cell).
+  static const real_t basis[8][3] = {
+      {0.00, 0.00, 0.00}, {0.50, 0.50, 0.00}, {0.50, 0.00, 0.50},
+      {0.00, 0.50, 0.50}, {0.25, 0.25, 0.25}, {0.75, 0.75, 0.25},
+      {0.75, 0.25, 0.75}, {0.25, 0.75, 0.75}};
+
+  AtomList atoms;
+  atoms.species = Species::silicon_ah();
+  atoms.positions.reserve(static_cast<size_t>(8 * nx * ny * nz));
+  for (int ix = 0; ix < nx; ++ix)
+    for (int iy = 0; iy < ny; ++iy)
+      for (int iz = 0; iz < nz; ++iz)
+        for (const auto& b : basis)
+          atoms.positions.push_back(
+              {a * (b[0] + ix), a * (b[1] + iy), a * (b[2] + iz)});
+  return atoms;
+}
+
+cplx structure_factor(const AtomList& atoms, const grid::Vec3& g) {
+  cplx s = 0.0;
+  for (const auto& tau : atoms.positions) {
+    const real_t phase = -grid::dot(g, tau);
+    s += cplx{std::cos(phase), std::sin(phase)};
+  }
+  return s;
+}
+
+}  // namespace ptim::pseudo

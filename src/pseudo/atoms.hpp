@@ -1,0 +1,33 @@
+#pragma once
+// Atomic configuration: species + Cartesian positions in the cell, plus
+// builders for the paper's silicon supercells (nx x ny x nz conventional
+// 8-atom diamond-cubic cells, a = 5.43 Angstrom).
+
+#include <vector>
+
+#include "grid/lattice.hpp"
+#include "pseudo/species.hpp"
+
+namespace ptim::pseudo {
+
+struct AtomList {
+  Species species;                   // single-species systems (paper: Si)
+  std::vector<grid::Vec3> positions;  // Cartesian, bohr
+
+  size_t natoms() const { return positions.size(); }
+  real_t total_charge() const {
+    return species.zval * static_cast<real_t>(natoms());
+  }
+};
+
+// Conventional diamond-cubic silicon lattice constant in bohr.
+real_t silicon_alat_bohr();
+
+// nx x ny x nz supercell of the 8-atom conventional cell. Returns the
+// lattice via out-parameter and the atom list (8*nx*ny*nz atoms).
+AtomList silicon_supercell(int nx, int ny, int nz, grid::Lattice* lattice);
+
+// Structure factor S(G) = sum_a e^{-i G . tau_a} for an arbitrary G.
+cplx structure_factor(const AtomList& atoms, const grid::Vec3& g);
+
+}  // namespace ptim::pseudo

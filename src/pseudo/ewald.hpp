@@ -1,0 +1,16 @@
+#pragma once
+// Ewald summation for the ion–ion energy of point charges in a neutralizing
+// background. Constant for the fixed-ion rt-TDDFT runs of the paper, but
+// required for meaningful absolute total energies.
+
+#include "grid/lattice.hpp"
+#include "pseudo/atoms.hpp"
+
+namespace ptim::pseudo {
+
+// eta: Ewald splitting parameter (bohr^-2); the result is eta-independent
+// once real/reciprocal sums are converged (a property test checks this).
+real_t ewald_energy(const AtomList& atoms, const grid::Lattice& lattice,
+                    real_t eta = 0.0 /* 0 = auto */);
+
+}  // namespace ptim::pseudo

@@ -1,0 +1,51 @@
+#include "pseudo/kb.hpp"
+
+#include <cmath>
+
+#include "la/blas.hpp"
+
+namespace ptim::pseudo {
+
+KbProjector::KbProjector(const AtomList& atoms, const grid::GSphere& sphere,
+                         real_t rc, real_t d0)
+    : d0_(d0) {
+  const size_t npw = sphere.npw();
+  const size_t na = atoms.natoms();
+  const real_t omega = sphere.lattice().volume();
+  // Radial normalization: \int |b(r)|^2 dr = 1 for b(r) ~ e^{-r^2/(2 rc^2)}.
+  const real_t norm = std::pow(kPi * rc * rc, 0.75) * 2.0 * std::sqrt(2.0);
+  beta_.resize(npw, na);
+#pragma omp parallel for schedule(static)
+  for (size_t a = 0; a < na; ++a) {
+    const auto& tau = atoms.positions[a];
+    for (size_t i = 0; i < npw; ++i) {
+      const real_t g2 = sphere.g2()[i];
+      const real_t radial = norm * std::exp(-0.25 * g2 * rc * rc);
+      const real_t phase = -grid::dot(sphere.gvec(i), tau);
+      beta_(i, a) = radial / std::sqrt(omega) *
+                    cplx{std::cos(phase), std::sin(phase)};
+    }
+  }
+}
+
+void KbProjector::apply(const la::MatC& phi, la::MatC& out) const {
+  // p = beta^H * phi  (nproj x nband), out += d0 * beta * p.
+  la::MatC p(beta_.cols(), phi.cols());
+  la::gemm_cn(beta_, phi, p);
+  la::gemm_nn(beta_, p, out, d0_, 1.0);
+}
+
+real_t KbProjector::energy(const la::MatC& phi,
+                           const std::vector<real_t>& f) const {
+  la::MatC p(beta_.cols(), phi.cols());
+  la::gemm_cn(beta_, phi, p);
+  real_t e = 0.0;
+  for (size_t b = 0; b < phi.cols(); ++b) {
+    real_t s = 0.0;
+    for (size_t a = 0; a < beta_.cols(); ++a) s += std::norm(p(a, b));
+    e += f[b] * d0_ * s;
+  }
+  return e;
+}
+
+}  // namespace ptim::pseudo

@@ -1,0 +1,43 @@
+#pragma once
+// Kleinman–Bylander separable nonlocal projector with a Gaussian radial
+// shape (one s-channel per atom):
+//   V_nl = sum_a |beta_a> D <beta_a|,
+//   beta_a(G) = (1/sqrt(Omega)) * b(|G|) * e^{-i G . tau_a},
+//   b(g) = (2 pi rc^2)^{3/4}-normalized Gaussian, exp(-g^2 rc^2 / 4).
+//
+// The SG15 ONCV projectors used in the paper need tabulated radial data we
+// do not have offline; this analytic channel preserves the code structure
+// (projector build, <beta|phi> inner products, rank-k update of H*Phi) and
+// is disabled by default in the silicon runs.
+
+#include <vector>
+
+#include "grid/gsphere.hpp"
+#include "la/matrix.hpp"
+#include "pseudo/atoms.hpp"
+
+namespace ptim::pseudo {
+
+class KbProjector {
+ public:
+  // rc: projector radius (bohr); d0: channel strength (Hartree).
+  KbProjector(const AtomList& atoms, const grid::GSphere& sphere, real_t rc,
+              real_t d0);
+
+  size_t nproj() const { return beta_.cols(); }
+  real_t d0() const { return d0_; }
+  const la::MatC& beta() const { return beta_; }
+
+  // out += V_nl * phi for every column of phi (out must be npw x nband).
+  void apply(const la::MatC& phi, la::MatC& out) const;
+
+  // Nonlocal energy contribution sum_ij sigma_ji <phi_i|V_nl|phi_j> given
+  // spin-summed occupations f (diagonal case).
+  real_t energy(const la::MatC& phi, const std::vector<real_t>& f) const;
+
+ private:
+  la::MatC beta_;  // npw x natoms
+  real_t d0_;
+};
+
+}  // namespace ptim::pseudo

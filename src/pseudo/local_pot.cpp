@@ -1,0 +1,48 @@
+#include "pseudo/local_pot.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptim::pseudo {
+
+std::vector<real_t> build_local_potential(const AtomList& atoms,
+                                          const grid::FftGrid& g) {
+  const size_t ng = g.size();
+  const real_t omega = g.lattice().volume();
+  const auto& dims = g.dims();
+  std::vector<cplx> vg(ng);
+#pragma omp parallel for schedule(static)
+  for (size_t i = 0; i < ng; ++i) {
+    // On even grids the Nyquist plane is its own inversion partner; keep
+    // V(r) exactly real by dropping those (tiny, Gaussian-damped) modes.
+    const auto f = g.freq3(i);
+    bool nyquist = false;
+    for (int d = 0; d < 3; ++d) {
+      const auto n = static_cast<long>(dims[static_cast<size_t>(d)]);
+      if (n % 2 == 0 && f[static_cast<size_t>(d)] == n / 2) nyquist = true;
+    }
+    if (nyquist) {
+      vg[i] = 0.0;
+      continue;
+    }
+    const real_t g2 = g.g2()[i];
+    const real_t form = (g2 < 1e-12) ? atoms.species.vloc_g0(omega)
+                                     : atoms.species.vloc_g(g2, omega);
+    vg[i] = form * structure_factor(atoms, g.gvec(i));
+  }
+  // V(r_j) = sum_G V(G) e^{i G r_j}: unscaled inverse == Ng * scaled inverse.
+  g.fft().inverse(vg.data());
+  std::vector<real_t> v(ng);
+  const auto scale = static_cast<real_t>(ng);
+  real_t max_imag = 0.0;
+  for (size_t j = 0; j < ng; ++j) {
+    v[j] = std::real(vg[j]) * scale;
+    max_imag = std::max(max_imag, std::abs(std::imag(vg[j]) * scale));
+  }
+  PTIM_CHECK_MSG(max_imag < 1e-8, "local potential has imaginary residue "
+                                      << max_imag);
+  return v;
+}
+
+}  // namespace ptim::pseudo

@@ -1,0 +1,18 @@
+#pragma once
+// Assembly of the ionic local potential on a density grid:
+//   V_loc(r) = sum_G V_at(|G|) S(G) e^{i G.r}
+// evaluated with one inverse FFT.
+
+#include <vector>
+
+#include "grid/fft_grid.hpp"
+#include "pseudo/atoms.hpp"
+
+namespace ptim::pseudo {
+
+// Real part of the lattice local potential on every grid point (the
+// imaginary part vanishes for real form factors; we assert it is tiny).
+std::vector<real_t> build_local_potential(const AtomList& atoms,
+                                          const grid::FftGrid& g);
+
+}  // namespace ptim::pseudo

@@ -1,0 +1,43 @@
+#include "pseudo/species.hpp"
+
+#include <cmath>
+
+namespace ptim::pseudo {
+
+real_t Species::vloc_g(real_t g2, real_t omega) const {
+  const real_t a = alpha;
+  const real_t gauss = std::exp(-g2 / (4.0 * a));
+  const real_t coul = -kFourPi * zval / g2;
+  const real_t pref = std::pow(kPi / a, 1.5);
+  const real_t shortr = pref * (c0 + c2 * (1.5 / a - g2 / (4.0 * a * a)));
+  return gauss * (coul + shortr) / omega;
+}
+
+real_t Species::vloc_g0(real_t omega) const {
+  const real_t a = alpha;
+  // Finite part of the screened Coulomb at G = 0 is +pi Z / a.
+  const real_t pref = std::pow(kPi / a, 1.5);
+  return (kPi * zval / a + pref * (c0 + c2 * 1.5 / a)) / omega;
+}
+
+Species Species::silicon_ah() {
+  Species s;
+  s.symbol = "Si";
+  s.zval = 4.0;
+  s.alpha = 0.6102;   // bohr^-2 (Appelbaum-Hamann)
+  s.c0 = 3.042 / 2.0;  // Ry -> Ha
+  s.c2 = -1.372 / 2.0;
+  return s;
+}
+
+Species Species::hydrogen_soft() {
+  Species s;
+  s.symbol = "H";
+  s.zval = 1.0;
+  s.alpha = 1.0;
+  s.c0 = 0.0;
+  s.c2 = 0.0;
+  return s;
+}
+
+}  // namespace ptim::pseudo

@@ -1,0 +1,39 @@
+#pragma once
+// Atomic species carrying the local pseudopotential parameters.
+//
+// The paper uses SG15 ONCV pseudopotentials; those data files are not
+// available offline, so we substitute the Appelbaum–Hamann empirical local
+// pseudopotential for silicon (PRB 8, 1777 (1973)), which reproduces a
+// gapped Si-like spectrum and exercises the identical code structure
+// (V_loc(G) * structure factor, optional nonlocal projector).
+//
+// AH form (Rydberg units, converted to Hartree here):
+//   V(r) = -(2Z/r) erf(sqrt(alpha) r) + (v1 + v2 r^2) e^{-alpha r^2}.
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace ptim::pseudo {
+
+struct Species {
+  std::string symbol;
+  real_t zval = 0.0;   // valence charge
+  real_t alpha = 0.0;  // Gaussian screening (bohr^-2)
+  real_t c0 = 0.0;     // short-range constant (Hartree)
+  real_t c2 = 0.0;     // short-range r^2 coefficient (Hartree/bohr^2)
+
+  // Atom-centered form factor: (1/Omega) * FT of V(r) at |G|^2 = g2, G != 0.
+  //   e^{-g2/4a} [ -4 pi Z/g2 + (pi/a)^{3/2} (c0 + c2 (3/(2a) - g2/(4a^2))) ] / Omega
+  real_t vloc_g(real_t g2, real_t omega) const;
+  // Finite G = 0 limit with the divergent -4 pi Z/G^2 removed (cancels
+  // against the Hartree G = 0 term under the jellium convention).
+  real_t vloc_g0(real_t omega) const;
+
+  static Species silicon_ah();
+  // A soft one-electron test species (Gaussian-screened proton-like),
+  // handy for molecule-in-a-box tests of the length-gauge laser coupling.
+  static Species hydrogen_soft();
+};
+
+}  // namespace ptim::pseudo

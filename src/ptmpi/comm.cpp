@@ -1,0 +1,318 @@
+#include "ptmpi/comm.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace ptim::ptmpi {
+
+namespace {
+
+struct Message {
+  int tag;
+  std::vector<unsigned char> payload;
+};
+
+// Mailbox per destination rank.
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  // keyed by source rank; FIFO per (src); tag matched within the queue.
+  std::map<int, std::deque<Message>> queues;
+};
+
+}  // namespace
+
+class World {
+ public:
+  World(int nranks, int ranks_per_node)
+      : nranks_(nranks),
+        ranks_per_node_(ranks_per_node),
+        mailboxes_(static_cast<size_t>(nranks)),
+        stats_(static_cast<size_t>(nranks)),
+        staging_(static_cast<size_t>(nranks), nullptr) {
+    for (auto& mb : mailboxes_) mb = std::make_unique<Mailbox>();
+  }
+
+  int nranks() const { return nranks_; }
+  int ranks_per_node() const { return ranks_per_node_; }
+
+  // --- generation barrier (reusable for any subset size = all ranks) ----
+  void barrier() {
+    std::unique_lock<std::mutex> lock(bar_mu_);
+    const long gen = bar_gen_;
+    if (++bar_count_ == nranks_) {
+      bar_count_ = 0;
+      ++bar_gen_;
+      bar_cv_.notify_all();
+    } else {
+      bar_cv_.wait(lock, [&] { return bar_gen_ != gen; });
+    }
+  }
+
+  void push(int src, int dest, int tag, const void* data, size_t bytes) {
+    Mailbox& mb = *mailboxes_[static_cast<size_t>(dest)];
+    Message msg;
+    msg.tag = tag;
+    msg.payload.assign(static_cast<const unsigned char*>(data),
+                       static_cast<const unsigned char*>(data) + bytes);
+    {
+      std::lock_guard<std::mutex> lock(mb.mu);
+      mb.queues[src].push_back(std::move(msg));
+    }
+    mb.cv.notify_all();
+  }
+
+  void pop(int src, int dest, int tag, void* data, size_t bytes) {
+    Mailbox& mb = *mailboxes_[static_cast<size_t>(dest)];
+    std::unique_lock<std::mutex> lock(mb.mu);
+    for (;;) {
+      auto& q = mb.queues[src];
+      for (auto it = q.begin(); it != q.end(); ++it) {
+        if (it->tag == tag) {
+          PTIM_CHECK_MSG(it->payload.size() == bytes,
+                         "ptmpi: message size mismatch (tag " << tag << ")");
+          std::memcpy(data, it->payload.data(), bytes);
+          q.erase(it);
+          return;
+        }
+      }
+      mb.cv.wait(lock);
+    }
+  }
+
+  // Staging pointer table for shared-memory collectives.
+  void publish(int rank, const void* p) {
+    staging_[static_cast<size_t>(rank)] = p;
+  }
+  const void* staged(int rank) const {
+    return staging_[static_cast<size_t>(rank)];
+  }
+
+  cplx* shm(const std::string& name, int node, size_t n) {
+    std::lock_guard<std::mutex> lock(shm_mu_);
+    auto& buf = shm_[{name, node}];
+    if (buf.size() != n) buf.assign(n, cplx(0.0));
+    return buf.data();
+  }
+
+  CommStats& stats(int rank) { return stats_[static_cast<size_t>(rank)]; }
+  std::vector<CommStats> take_stats() { return stats_; }
+
+  std::mutex reduce_mu;
+
+ private:
+  int nranks_;
+  int ranks_per_node_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<CommStats> stats_;
+  std::vector<const void*> staging_;
+
+  std::mutex bar_mu_;
+  std::condition_variable bar_cv_;
+  int bar_count_ = 0;
+  long bar_gen_ = 0;
+
+  std::mutex shm_mu_;
+  std::map<std::pair<std::string, int>, std::vector<cplx>> shm_;
+};
+
+// ----------------------------------------------------------------- Comm --
+
+int Comm::size() const { return world_->nranks(); }
+int Comm::ranks_per_node() const { return world_->ranks_per_node(); }
+int Comm::node() const { return rank_ / world_->ranks_per_node(); }
+int Comm::node_rank() const { return rank_ % world_->ranks_per_node(); }
+CommStats& Comm::stats() { return world_->stats(rank_); }
+
+void Comm::barrier() { world_->barrier(); }
+
+void Comm::send(int dest, const void* data, size_t bytes, int tag) {
+  Timer t;
+  world_->push(rank_, dest, tag, data, bytes);
+  stats().add("Send", static_cast<long long>(bytes), t.seconds());
+}
+
+void Comm::recv(int src, void* data, size_t bytes, int tag) {
+  Timer t;
+  world_->pop(src, rank_, tag, data, bytes);
+  stats().add("Recv", static_cast<long long>(bytes), t.seconds());
+}
+
+Request Comm::isend(int dest, const void* data, size_t bytes, int tag) {
+  // Buffered eager send: the payload is copied into the mailbox now.
+  world_->push(rank_, dest, tag, data, bytes);
+  Request r;
+  r.kind = Request::Kind::kSend;
+  r.peer = dest;
+  r.tag = tag;
+  r.bytes = bytes;
+  return r;
+}
+
+Request Comm::irecv(int src, void* data, size_t bytes, int tag) {
+  Request r;
+  r.kind = Request::Kind::kRecv;
+  r.peer = src;
+  r.tag = tag;
+  r.buf = data;
+  r.bytes = bytes;
+  return r;
+}
+
+void Comm::wait(Request& req) {
+  Timer t;
+  if (req.kind == Request::Kind::kRecv)
+    world_->pop(req.peer, rank_, req.tag, req.buf, req.bytes);
+  // Buffered sends complete immediately.
+  stats().add("Wait", static_cast<long long>(req.bytes), t.seconds());
+  req.kind = Request::Kind::kNone;
+}
+
+void Comm::sendrecv(int dest, const void* sendbuf, size_t send_bytes, int src,
+                    void* recvbuf, size_t recv_bytes, int tag) {
+  Timer t;
+  world_->push(rank_, dest, tag, sendbuf, send_bytes);
+  world_->pop(src, rank_, tag, recvbuf, recv_bytes);
+  stats().add("Sendrecv", static_cast<long long>(send_bytes + recv_bytes),
+              t.seconds());
+}
+
+void Comm::bcast(void* data, size_t bytes, int root) {
+  Timer t;
+  world_->barrier();
+  if (rank_ == root) world_->publish(rank_, data);
+  world_->barrier();
+  if (rank_ != root)
+    std::memcpy(data, world_->staged(root), bytes);
+  world_->barrier();
+  stats().add("Bcast", static_cast<long long>(bytes), t.seconds());
+}
+
+namespace {
+template <typename T>
+void allreduce_impl(World* w, int rank, T* data, size_t n,
+                    std::vector<T>& scratch) {
+  // Rank 0 hosts the accumulator; everyone adds under a lock, then copies.
+  static thread_local std::vector<unsigned char> dummy;
+  (void)dummy;
+  w->barrier();
+  if (rank == 0) {
+    scratch.assign(n, T{});
+    w->publish(0, scratch.data());
+  }
+  w->barrier();
+  auto* acc = static_cast<T*>(const_cast<void*>(w->staged(0)));
+  {
+    std::lock_guard<std::mutex> lock(w->reduce_mu);
+    for (size_t i = 0; i < n; ++i) acc[i] += data[i];
+  }
+  w->barrier();
+  std::memcpy(data, acc, n * sizeof(T));
+  w->barrier();
+}
+}  // namespace
+
+void Comm::allreduce_sum(cplx* data, size_t n) {
+  Timer t;
+  static thread_local std::vector<cplx> scratch_c;
+  allreduce_impl(world_, rank_, data, n, scratch_c);
+  stats().add("Allreduce", static_cast<long long>(n * sizeof(cplx)),
+              t.seconds());
+}
+
+void Comm::allreduce_sum(real_t* data, size_t n) {
+  Timer t;
+  static thread_local std::vector<real_t> scratch_r;
+  allreduce_impl(world_, rank_, data, n, scratch_r);
+  stats().add("Allreduce", static_cast<long long>(n * sizeof(real_t)),
+              t.seconds());
+}
+
+void Comm::allgatherv(const cplx* send, size_t send_count, cplx* recv,
+                      const std::vector<size_t>& counts) {
+  Timer t;
+  PTIM_CHECK(counts.size() == static_cast<size_t>(size()));
+  world_->publish(rank_, send);
+  world_->barrier();
+  size_t offset = 0;
+  for (int r = 0; r < size(); ++r) {
+    const auto* src = static_cast<const cplx*>(world_->staged(r));
+    std::memcpy(recv + offset, src, counts[static_cast<size_t>(r)] * sizeof(cplx));
+    offset += counts[static_cast<size_t>(r)];
+  }
+  world_->barrier();
+  stats().add("Allgatherv", static_cast<long long>(send_count * sizeof(cplx)),
+              t.seconds());
+}
+
+void Comm::alltoallv(const cplx* send, const std::vector<size_t>& send_counts,
+                     cplx* recv, const std::vector<size_t>& recv_counts) {
+  Timer t;
+  const int p = size();
+  PTIM_CHECK(send_counts.size() == static_cast<size_t>(p) &&
+             recv_counts.size() == static_cast<size_t>(p));
+  constexpr int kTag = 0x5a5a;
+  // Eager-push every outgoing slice (self included), then drain inbound.
+  size_t send_offset = 0;
+  long long bytes = 0;
+  for (int r = 0; r < p; ++r) {
+    const size_t cnt = send_counts[static_cast<size_t>(r)];
+    world_->push(rank_, r, kTag, send + send_offset, cnt * sizeof(cplx));
+    send_offset += cnt;
+    bytes += static_cast<long long>(cnt * sizeof(cplx));
+  }
+  size_t recv_offset = 0;
+  for (int r = 0; r < p; ++r) {
+    const size_t cnt = recv_counts[static_cast<size_t>(r)];
+    world_->pop(r, rank_, kTag, recv + recv_offset, cnt * sizeof(cplx));
+    recv_offset += cnt;
+  }
+  stats().add("Alltoallv", bytes, t.seconds());
+}
+
+cplx* Comm::shm_allocate(const std::string& name, size_t n) {
+  world_->barrier();
+  cplx* p = world_->shm(name, node(), n);
+  world_->barrier();
+  return p;
+}
+
+// ------------------------------------------------------------ run_ranks --
+
+namespace {
+std::vector<CommStats> g_last_stats;  // set by run_ranks
+std::mutex g_last_stats_mu;
+}  // namespace
+
+void run_ranks(int nranks, int ranks_per_node,
+               const std::function<void(Comm&)>& fn) {
+  PTIM_CHECK(nranks >= 1 && ranks_per_node >= 1);
+  World world(nranks, ranks_per_node);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(nranks));
+  threads.reserve(static_cast<size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&world, &fn, &errors, r] {
+      try {
+        Comm comm(&world, r);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  {
+    std::lock_guard<std::mutex> lock(g_last_stats_mu);
+    g_last_stats = world.take_stats();
+  }
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+const std::vector<CommStats>& last_run_stats() { return g_last_stats; }
+
+}  // namespace ptim::ptmpi

@@ -1,0 +1,123 @@
+#pragma once
+// In-process MPI substitute ("ptmpi"): thread ranks with real message
+// passing. The paper's system-level contributions (ring-based wavefunction
+// rotation, asynchronous overlap, MPI-3 shared-memory windows) are coded
+// against this interface exactly as they would be against MPI, so their
+// correctness is testable on one machine; the netsim module supplies the
+// large-scale timing model.
+//
+// Provided operations (mirroring the paper's Table I columns):
+//   send/recv, isend/irecv/wait, sendrecv, bcast, allreduce_sum,
+//   alltoallv, allgatherv, barrier, plus node-scoped shared-memory
+//   windows (MPI_Win_allocate_shared stand-in).
+//
+// Every call records (calls, bytes, seconds) into per-rank CommStats —
+// the measured analogue of the paper's per-op communication table.
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "common/types.hpp"
+
+namespace ptim::ptmpi {
+
+struct OpStats {
+  long calls = 0;
+  long long bytes = 0;
+  double seconds = 0.0;
+};
+
+struct CommStats {
+  std::map<std::string, OpStats> ops;
+  void add(const std::string& op, long long bytes, double seconds) {
+    auto& o = ops[op];
+    o.calls += 1;
+    o.bytes += bytes;
+    o.seconds += seconds;
+  }
+  double total_seconds() const {
+    double t = 0.0;
+    for (const auto& [k, v] : ops) t += v.seconds;
+    return t;
+  }
+};
+
+class World;
+
+// Nonblocking request handle.
+struct Request {
+  enum class Kind { kNone, kSend, kRecv };
+  Kind kind = Kind::kNone;
+  int peer = -1;
+  int tag = 0;
+  void* buf = nullptr;
+  size_t bytes = 0;
+};
+
+// Per-rank communicator handle. All methods move raw bytes; typed helpers
+// wrap the common complex/real cases.
+class Comm {
+ public:
+  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const;
+  int node() const;        // node id = rank / ranks_per_node
+  int node_rank() const;   // rank within the node
+  int ranks_per_node() const;
+
+  void barrier();
+
+  // Point-to-point (blocking and nonblocking). Messages are matched by
+  // (source, tag) in FIFO order; isend is buffered (copies immediately).
+  void send(int dest, const void* data, size_t bytes, int tag = 0);
+  void recv(int src, void* data, size_t bytes, int tag = 0);
+  Request isend(int dest, const void* data, size_t bytes, int tag = 0);
+  Request irecv(int src, void* data, size_t bytes, int tag = 0);
+  void wait(Request& req);
+
+  // Combined neighbor exchange (the ring step).
+  void sendrecv(int dest, const void* sendbuf, size_t send_bytes, int src,
+                void* recvbuf, size_t recv_bytes, int tag = 0);
+
+  // Collectives.
+  void bcast(void* data, size_t bytes, int root);
+  void allreduce_sum(cplx* data, size_t n);
+  void allreduce_sum(real_t* data, size_t n);
+  // Each rank contributes `send_count` elements; all ranks receive the
+  // concatenation ordered by rank.
+  void allgatherv(const cplx* send, size_t send_count, cplx* recv,
+                  const std::vector<size_t>& counts);
+  // counts[i]: elements this rank sends to rank i (and symmetric layout on
+  // the receive side: recv_counts[i] elements arrive from rank i).
+  void alltoallv(const cplx* send, const std::vector<size_t>& send_counts,
+                 cplx* recv, const std::vector<size_t>& recv_counts);
+
+  // Node-shared window: all ranks of a node receive the same buffer; the
+  // buffer is zero-initialized; identified by name (collective call).
+  cplx* shm_allocate(const std::string& name, size_t n);
+
+  CommStats& stats();
+
+ private:
+  World* world_;
+  int rank_;
+};
+
+// Launch `nranks` std::threads, each running fn(comm). Exceptions in any
+// rank are re-thrown on the caller thread.
+void run_ranks(int nranks, int ranks_per_node,
+               const std::function<void(Comm&)>& fn);
+
+// Access statistics recorded during the last run_ranks (indexed by rank).
+const std::vector<CommStats>& last_run_stats();
+
+}  // namespace ptim::ptmpi

@@ -1,0 +1,51 @@
+#include "pw/transforms.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptim::pw {
+
+SphereGridMap::SphereGridMap(const grid::GSphere& sphere,
+                             const grid::FftGrid& grid)
+    : sphere_(&sphere), grid_(&grid), map_(sphere.map_to(grid)) {
+  const real_t omega = grid.lattice().volume();
+  const auto ng = static_cast<real_t>(grid.size());
+  scale_to_real_ = ng / std::sqrt(omega);
+  scale_to_sphere_ = std::sqrt(omega) / ng;
+}
+
+void SphereGridMap::to_real(const cplx* coeffs, cplx* real_space) const {
+  const size_t ng = grid_->size();
+  std::fill(real_space, real_space + ng, cplx(0.0));
+  for (size_t i = 0; i < map_.size(); ++i) real_space[map_[i]] = coeffs[i];
+  grid_->fft().inverse(real_space);  // scaled by 1/Ng internally
+  for (size_t j = 0; j < ng; ++j) real_space[j] *= scale_to_real_;
+}
+
+void SphereGridMap::to_sphere(const cplx* real_space, cplx* coeffs) const {
+  const size_t ng = grid_->size();
+  std::vector<cplx> work(real_space, real_space + ng);
+  grid_->fft().forward(work.data());
+  for (size_t i = 0; i < map_.size(); ++i)
+    coeffs[i] = work[map_[i]] * scale_to_sphere_;
+}
+
+void SphereGridMap::to_real_batch(const la::MatC& coeffs,
+                                  la::MatC& real_space) const {
+  PTIM_CHECK(coeffs.rows() == map_.size());
+  real_space.resize(grid_->size(), coeffs.cols());
+  for (size_t b = 0; b < coeffs.cols(); ++b)
+    to_real(coeffs.col(b), real_space.col(b));
+}
+
+void SphereGridMap::to_sphere_batch(const la::MatC& real_space,
+                                    la::MatC& coeffs) const {
+  PTIM_CHECK(real_space.rows() == grid_->size());
+  coeffs.resize(map_.size(), real_space.cols());
+  for (size_t b = 0; b < real_space.cols(); ++b)
+    to_sphere(real_space.col(b), coeffs.col(b));
+}
+
+}  // namespace ptim::pw

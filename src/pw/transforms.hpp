@@ -1,0 +1,45 @@
+#pragma once
+// Sphere <-> grid transforms with fixed normalization conventions.
+//
+//   psi(r) = (1/sqrt(Omega)) * sum_G c_G e^{i G.r}
+//   <psi|psi'> = sum_G conj(c_G) c'_G          (orthonormal PW basis)
+//   integral f(r) dr = dvol * sum_j f(r_j)
+//
+// to_real produces psi(r_j) on the grid (including the 1/sqrt(Omega));
+// to_sphere is its exact inverse for band-limited functions.
+
+#include <vector>
+
+#include "grid/fft_grid.hpp"
+#include "grid/gsphere.hpp"
+#include "la/matrix.hpp"
+
+namespace ptim::pw {
+
+// A (sphere, grid) pairing with its scatter map cached.
+class SphereGridMap {
+ public:
+  SphereGridMap(const grid::GSphere& sphere, const grid::FftGrid& grid);
+
+  const grid::GSphere& sphere() const { return *sphere_; }
+  const grid::FftGrid& grid() const { return *grid_; }
+  const std::vector<size_t>& map() const { return map_; }
+
+  // c (npw) -> psi(r_j) (grid.size()); `work` must have grid.size() capacity.
+  void to_real(const cplx* coeffs, cplx* real_space) const;
+  // psi(r_j) -> c (npw). Discards components outside the sphere.
+  void to_sphere(const cplx* real_space, cplx* coeffs) const;
+
+  // Batched versions over the columns of a matrix.
+  void to_real_batch(const la::MatC& coeffs, la::MatC& real_space) const;
+  void to_sphere_batch(const la::MatC& real_space, la::MatC& coeffs) const;
+
+ private:
+  const grid::GSphere* sphere_;
+  const grid::FftGrid* grid_;
+  std::vector<size_t> map_;
+  real_t scale_to_real_;    // Ng / sqrt(Omega) applied after inverse FFT
+  real_t scale_to_sphere_;  // sqrt(Omega) / Ng applied after forward FFT
+};
+
+}  // namespace ptim::pw

@@ -1,0 +1,53 @@
+#include "pw/wavefunction.hpp"
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+#include "la/eig.hpp"
+
+namespace ptim::pw {
+
+la::MatC overlap(const la::MatC& phi, const la::MatC& psi) {
+  la::MatC s(phi.cols(), psi.cols());
+  la::gemm_cn(phi, psi, s);
+  return s;
+}
+
+void orthonormalize_cholesky(la::MatC& phi) {
+  const la::MatC s = overlap(phi, phi);
+  const la::MatC l = la::cholesky(s);
+  // Phi <- Phi * L^{-H}: solve X * L^H = Phi in place.
+  la::solve_upper_right(l, phi);
+}
+
+void orthonormalize_lowdin(la::MatC& phi) {
+  const la::MatC s = overlap(phi, phi);
+  const auto eig = la::eig_herm(s);
+  const size_t n = s.rows();
+  // S^{-1/2} = V diag(w^{-1/2}) V^H
+  la::MatC vs(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    PTIM_CHECK_MSG(eig.w[j] > 1e-14, "lowdin: singular overlap");
+    const real_t inv_sqrt = 1.0 / std::sqrt(eig.w[j]);
+    for (size_t i = 0; i < n; ++i) vs(i, j) = eig.V(i, j) * inv_sqrt;
+  }
+  la::MatC shalf(n, n);
+  la::gemm_nc(vs, eig.V, shalf);
+  la::MatC out(phi.rows(), phi.cols());
+  la::gemm_nn(phi, shalf, out);
+  phi = std::move(out);
+}
+
+real_t orthonormality_defect(const la::MatC& phi) {
+  const la::MatC s = overlap(phi, phi);
+  real_t defect = 0.0;
+  for (size_t j = 0; j < s.cols(); ++j)
+    for (size_t i = 0; i < s.rows(); ++i) {
+      const cplx target = (i == j) ? cplx(1.0) : cplx(0.0);
+      defect = std::max(defect, std::abs(s(i, j) - target));
+    }
+  return defect;
+}
+
+}  // namespace ptim::pw

@@ -1,0 +1,24 @@
+#pragma once
+// Wavefunction blocks and their algebra. A block is an npw x nband complex
+// matrix whose columns are orbitals in the plane-wave sphere basis (so all
+// inner products are plain conjugated dot products).
+
+#include "la/matrix.hpp"
+
+namespace ptim::pw {
+
+// Overlap S = Phi^H * Psi.
+la::MatC overlap(const la::MatC& phi, const la::MatC& psi);
+
+// In-place Cholesky-QR orthonormalization: Phi <- Phi * L^{-H} with
+// Phi^H Phi = L L^H. Fast path used after each PT-IM step (Alg. 1 line 13).
+void orthonormalize_cholesky(la::MatC& phi);
+
+// In-place Loewdin orthonormalization: Phi <- Phi * S^{-1/2}. Symmetric —
+// perturbs the orbitals minimally, used when columns may be ill-conditioned.
+void orthonormalize_lowdin(la::MatC& phi);
+
+// Max |S - I| entry; orthonormality defect used by invariant tests.
+real_t orthonormality_defect(const la::MatC& phi);
+
+}  // namespace ptim::pw

@@ -1,0 +1,55 @@
+#include "td/laser.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptim::td {
+
+LaserPulse::LaserPulse(LaserParams p, real_t t_max)
+    : params_(p), t_max_(t_max) {
+  PTIM_CHECK(t_max > 0.0);
+  omega_ = units::photon_energy_ha(params_.wavelength_nm);
+  if (params_.t_center <= 0.0) params_.t_center = 0.5 * t_max;
+  if (params_.t_width <= 0.0) params_.t_width = t_max / 6.0;
+
+  // Cumulative Simpson for A(t) = -int E: fine enough to resolve the
+  // carrier (>= 200 samples per optical cycle).
+  const real_t period = kTwoPi / omega_;
+  table_dt_ = period / 400.0;
+  const size_t n = static_cast<size_t>(std::ceil(t_max / table_dt_)) + 2;
+  a_table_.resize(n, 0.0);
+  for (size_t i = 1; i < n; ++i) {
+    const real_t t0 = static_cast<real_t>(i - 1) * table_dt_;
+    const real_t t1 = static_cast<real_t>(i) * table_dt_;
+    const real_t tm = 0.5 * (t0 + t1);
+    const real_t seg =
+        (efield(t0) + 4.0 * efield(tm) + efield(t1)) * (t1 - t0) / 6.0;
+    a_table_[i] = a_table_[i - 1] - seg;
+  }
+}
+
+real_t LaserPulse::efield(real_t t) const {
+  const real_t x = (t - params_.t_center) / params_.t_width;
+  return params_.e0 * std::exp(-0.5 * x * x) * std::sin(omega_ * t);
+}
+
+grid::Vec3 LaserPulse::efield_vec(real_t t) const {
+  return efield(t) * params_.polarization;
+}
+
+grid::Vec3 LaserPulse::vector_potential(real_t t) const {
+  if (t <= 0.0) return {0.0, 0.0, 0.0};
+  const real_t x = t / table_dt_;
+  const auto i = static_cast<size_t>(x);
+  real_t a;
+  if (i + 1 >= a_table_.size()) {
+    a = a_table_.back();
+  } else {
+    const real_t frac = x - static_cast<real_t>(i);
+    a = (1.0 - frac) * a_table_[i] + frac * a_table_[i + 1];
+  }
+  return a * params_.polarization;
+}
+
+}  // namespace ptim::td

@@ -1,0 +1,42 @@
+#pragma once
+// Gaussian-envelope laser pulse (paper Sec. VI: 380 nm, 30 fs window) and
+// its vector potential A(t) = -int_0^t E(t') dt' for the velocity-gauge
+// coupling used in periodic cells. A dense cumulative-Simpson table makes
+// A(t) cheap at the integrator's midpoints.
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "grid/lattice.hpp"
+
+namespace ptim::td {
+
+struct LaserParams {
+  real_t e0 = 0.005;        // peak field, a.u.
+  real_t wavelength_nm = 380.0;
+  real_t t_center = 0.0;    // envelope centre (a.u.); set from t_total
+  real_t t_width = 0.0;     // Gaussian sigma (a.u.)
+  grid::Vec3 polarization{1.0, 0.0, 0.0};
+};
+
+class LaserPulse {
+ public:
+  // t_max: simulation end time (a.u.). Defaults centre the envelope at
+  // t_max/2 with sigma = t_max/6 (mirrors the paper's Fig. 7(a) shape).
+  LaserPulse(LaserParams p, real_t t_max);
+
+  real_t efield(real_t t) const;          // scalar field along polarization
+  grid::Vec3 efield_vec(real_t t) const;
+  grid::Vec3 vector_potential(real_t t) const;
+  real_t omega() const { return omega_; }
+  const LaserParams& params() const { return params_; }
+
+ private:
+  LaserParams params_;
+  real_t omega_;
+  real_t t_max_;
+  real_t table_dt_;
+  std::vector<real_t> a_table_;  // scalar A(t) on a dense time table
+};
+
+}  // namespace ptim::td

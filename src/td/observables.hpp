@@ -1,0 +1,35 @@
+#pragma once
+// Physical observables recorded during propagation: the Fig. 7/8 quantities
+// (dipole moment along a direction, total energy, sigma matrix elements).
+
+#include <vector>
+
+#include "grid/fft_grid.hpp"
+#include "grid/gsphere.hpp"
+#include "la/matrix.hpp"
+
+namespace ptim::td {
+
+// integral (r - r_center) . dir * rho(r) dr, with coordinates wrapped to the
+// cell so the weight is single-valued (supercell dipole convention).
+real_t dipole(const std::vector<real_t>& rho, const grid::FftGrid& g,
+              const grid::Vec3& dir);
+
+// Macroscopic electronic current along `dir` in the velocity gauge:
+//   j = (2/Omega) sum_ij sigma_ji <phi_i|(-i grad + A)|phi_j> . dir
+// — the observable the velocity-gauge dielectric response is built from.
+real_t current(const la::MatC& phi, const la::MatC& sigma,
+               const grid::GSphere& sphere, const grid::Vec3& avec,
+               const grid::Vec3& dir);
+
+// Trace of sigma (conserved: the electron count per spin channel).
+real_t sigma_trace(const la::MatC& sigma);
+
+// Largest |sigma_ij - conj(sigma_ji)| — Hermiticity drift diagnostic.
+real_t sigma_hermiticity_defect(const la::MatC& sigma);
+
+// Idempotency defect ||sigma^2 - sigma||_F: zero for pure states, positive
+// for finite-temperature mixed states (a useful state classifier in tests).
+real_t sigma_idempotency_defect(const la::MatC& sigma);
+
+}  // namespace ptim::td

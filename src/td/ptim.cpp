@@ -1,0 +1,230 @@
+#include "td/ptim.hpp"
+
+#include <cmath>
+
+#include "common/timer.hpp"
+#include "ham/density.hpp"
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+#include "la/eig.hpp"
+#include "la/mixer.hpp"
+#include "la/util.hpp"
+#include "pw/wavefunction.hpp"
+
+namespace ptim::td {
+
+namespace {
+
+void flatten(const la::MatC& phi, const la::MatC& sigma,
+             std::vector<cplx>& out) {
+  out.resize(phi.size() + sigma.size());
+  std::copy(phi.data(), phi.data() + phi.size(), out.begin());
+  std::copy(sigma.data(), sigma.data() + sigma.size(),
+            out.begin() + static_cast<long>(phi.size()));
+}
+
+void unflatten(const std::vector<cplx>& in, la::MatC& phi, la::MatC& sigma) {
+  std::copy(in.begin(), in.begin() + static_cast<long>(phi.size()),
+            phi.data());
+  std::copy(in.begin() + static_cast<long>(phi.size()), in.end(),
+            sigma.data());
+}
+
+}  // namespace
+
+PtImPropagator::PtImPropagator(ham::Hamiltonian& h, PtImOptions opt,
+                               const LaserPulse* laser)
+    : h_(&h), opt_(opt), laser_(laser) {}
+
+void PtImPropagator::configure_exchange_midpoint(const la::MatC& phih,
+                                                 la::MatC sigmah) {
+  if (!opt_.hybrid) {
+    h_->set_exchange_mode(ham::ExchangeMode::kNone);
+    return;
+  }
+  switch (opt_.variant) {
+    case PtImVariant::kBaseline:
+      h_->set_exchange_mode(ham::ExchangeMode::kExactNaive);
+      h_->set_exchange_source_mixed(phih, std::move(sigmah));
+      if (stats_) ++stats_->exchange_applications;
+      break;
+    case PtImVariant::kDiag:
+      h_->set_exchange_mode(ham::ExchangeMode::kExactDiag);
+      h_->set_exchange_source_mixed(phih, std::move(sigmah));
+      if (stats_) ++stats_->exchange_applications;
+      break;
+    case PtImVariant::kAce:
+      // ACE is configured by step(); nothing to refresh per inner iteration.
+      break;
+  }
+}
+
+int PtImPropagator::fixed_point(const TdState& start, la::MatC& phi1,
+                                la::MatC& sigma1, real_t t_half,
+                                real_t* residual_out) {
+  const la::MatC& phin = start.phi;
+  const la::MatC& sigman = start.sigma;
+  const size_t npw = phin.rows();
+  const size_t nb = phin.cols();
+  const real_t dt = opt_.dt;
+  const cplx idt{0.0, dt};
+
+  la::AndersonMixer mixer(npw * nb + nb * nb, opt_.anderson_history,
+                          opt_.anderson_beta);
+  if (laser_) h_->set_vector_potential(laser_->vector_potential(t_half));
+
+  la::MatC phih(npw, nb), sigmah(nb, nb), hphi(npw, nb);
+  la::MatC m(nb, nb), s(nb, nb), x(nb, nb), proj(npw, nb);
+  std::vector<cplx> xv, fv;
+
+  int it = 1;
+  for (; it <= opt_.max_scf; ++it) {
+    // Midpoints (paper Eq. 4).
+    for (size_t i = 0; i < phih.size(); ++i)
+      phih.data()[i] = 0.5 * (phi1.data()[i] + phin.data()[i]);
+    for (size_t i = 0; i < sigmah.size(); ++i)
+      sigmah.data()[i] = 0.5 * (sigma1.data()[i] + sigman.data()[i]);
+    la::hermitize(sigmah);
+
+    // Midpoint density and Hamiltonian (Eq. 5).
+    const std::vector<real_t> rho =
+        (opt_.variant == PtImVariant::kBaseline)
+            ? ham::density_sigma_naive(phih, sigmah, h_->den_map())
+            : ham::density_sigma(phih, sigmah, h_->den_map());
+    h_->set_density(rho);
+    configure_exchange_midpoint(phih, sigmah);
+    h_->apply(phih, hphi);
+
+    // M = Phi_h^H H Phi_h ; overlap S = Phi_h^H Phi_h.
+    la::gemm_cn(phih, hphi, m);
+    la::gemm_cn(phih, phih, s);
+
+    // Projector part: P~ H Phi_h = Phi_h S^{-1} M.
+    x = m;
+    const la::MatC l = la::cholesky(s);
+    la::cholesky_solve(l, x);
+    la::gemm_nn(phih, x, proj);
+
+    // Updates (Eq. 6).
+    la::MatC phi_new(npw, nb), sigma_new(nb, nb);
+    for (size_t i = 0; i < phi_new.size(); ++i)
+      phi_new.data()[i] =
+          phin.data()[i] - idt * (hphi.data()[i] - proj.data()[i]);
+    if (opt_.evolve_sigma) {
+      la::MatC msh(nb, nb), shm(nb, nb);
+      la::gemm_nn(m, sigmah, msh);
+      la::gemm_nn(sigmah, m, shm);
+      for (size_t i = 0; i < sigma_new.size(); ++i)
+        sigma_new.data()[i] =
+            sigman.data()[i] - idt * (msh.data()[i] - shm.data()[i]);
+    } else {
+      sigma_new = sigman;  // PT-CN: occupations frozen
+    }
+
+    // Residual of the fixed point.
+    real_t rnum = 0.0, rden = 0.0;
+    for (size_t i = 0; i < phi_new.size(); ++i) {
+      rnum += std::norm(phi_new.data()[i] - phi1.data()[i]);
+      rden += std::norm(phi1.data()[i]);
+    }
+    for (size_t i = 0; i < sigma_new.size(); ++i) {
+      rnum += std::norm(sigma_new.data()[i] - sigma1.data()[i]);
+      rden += std::norm(sigma1.data()[i]);
+    }
+    const real_t res = std::sqrt(rnum / std::max(rden, real_t(1e-30)));
+    if (residual_out) *residual_out = res;
+    if (res < opt_.tol) {
+      phi1 = std::move(phi_new);
+      sigma1 = std::move(sigma_new);
+      break;
+    }
+
+    // Anderson mixing of the combined unknowns (Alg. 1 line 8).
+    flatten(phi1, sigma1, xv);
+    fv.resize(xv.size());
+    for (size_t i = 0; i < phi1.size(); ++i)
+      fv[i] = phi_new.data()[i] - phi1.data()[i];
+    for (size_t i = 0; i < sigma1.size(); ++i)
+      fv[phi1.size() + i] = sigma_new.data()[i] - sigma1.data()[i];
+    const std::vector<cplx> next = mixer.mix(xv, fv);
+    unflatten(next, phi1, sigma1);
+  }
+  return it;
+}
+
+real_t PtImPropagator::build_ace_from(const la::MatC& phi, la::MatC sigma) {
+  ScopedTimer t("ptim.ace_prepare");
+  la::hermitize(sigma);
+  const auto eig = la::eig_herm(sigma);
+  la::MatC rotated(phi.rows(), phi.cols());
+  la::gemm_nn(phi, eig.V, rotated);
+
+  la::MatC w(phi.rows(), phi.cols());
+  h_->exchange_op().apply_diag(rotated, eig.w, rotated, w, false);
+  if (stats_) ++stats_->exchange_applications;
+
+  real_t ex = 0.0;
+  for (size_t b = 0; b < phi.cols(); ++b)
+    ex += eig.w[b] *
+          std::real(la::dotc(phi.rows(), rotated.col(b), w.col(b)));
+
+  h_->set_ace(ham::AceOperator::build(rotated, w));
+  return ex;
+}
+
+PtImStepStats PtImPropagator::step(TdState& s) {
+  ScopedTimer timer("td.ptim_step");
+  PtImStepStats stats;
+  stats_ = &stats;
+
+  const real_t t_half = s.time + 0.5 * opt_.dt;
+  la::MatC phi1 = s.phi;
+  la::MatC sigma1 = s.sigma;
+
+  if (opt_.variant == PtImVariant::kAce && opt_.hybrid) {
+    // First inner SCF runs with the ACE built at t_n (Fig. 4b).
+    real_t ex_prev = build_ace_from(s.phi, s.sigma);
+    real_t res = 0.0;
+    for (int outer = 1; outer <= opt_.max_outer; ++outer) {
+      ++stats.outer_iterations;
+      stats.scf_iterations += fixed_point(s, phi1, sigma1, t_half, &res);
+      // Rebuild ACE from the converged midpoint state.
+      la::MatC phih(phi1.rows(), phi1.cols()), sigmah(sigma1.rows(),
+                                                      sigma1.cols());
+      for (size_t i = 0; i < phih.size(); ++i)
+        phih.data()[i] = 0.5 * (phi1.data()[i] + s.phi.data()[i]);
+      for (size_t i = 0; i < sigmah.size(); ++i)
+        sigmah.data()[i] = 0.5 * (sigma1.data()[i] + s.sigma.data()[i]);
+      const real_t ex = build_ace_from(phih, sigmah);
+      const real_t dex = std::abs(ex - ex_prev);
+      ex_prev = ex;
+      if (dex < opt_.tol_fock) break;
+    }
+    stats.residual = res;
+    stats.converged = res < opt_.tol;
+  } else {
+    stats.outer_iterations = 1;
+    real_t res = 0.0;
+    stats.scf_iterations = fixed_point(s, phi1, sigma1, t_half, &res);
+    stats.residual = res;
+    stats.converged = res < opt_.tol;
+  }
+
+  // Alg. 1 line 13: orthogonalize Phi, conjugate-symmetrize sigma. The
+  // congruence sigma -> L^H sigma L keeps P = Phi sigma Phi^H invariant.
+  la::MatC sfinal = pw::overlap(phi1, phi1);
+  const la::MatC l = la::cholesky(sfinal);
+  la::solve_upper_right(l, phi1);  // Phi <- Phi L^{-H}
+  la::MatC tmp(sigma1.rows(), sigma1.cols());
+  la::gemm('C', 'N', 1.0, l, sigma1, 0.0, tmp);  // L^H sigma
+  la::gemm_nn(tmp, l, sigma1);                   // (L^H sigma) L
+  la::hermitize(sigma1);
+
+  s.phi = std::move(phi1);
+  s.sigma = std::move(sigma1);
+  s.time += opt_.dt;
+  stats_ = nullptr;
+  return stats;
+}
+
+}  // namespace ptim::td

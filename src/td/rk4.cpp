@@ -1,0 +1,55 @@
+#include "td/rk4.hpp"
+
+#include "common/timer.hpp"
+#include "ham/density.hpp"
+
+namespace ptim::td {
+
+Rk4Propagator::Rk4Propagator(ham::Hamiltonian& h, Rk4Options opt,
+                             const LaserPulse* laser)
+    : h_(&h), opt_(opt), laser_(laser) {}
+
+void Rk4Propagator::rhs(real_t t, const la::MatC& psi, const la::MatC& sigma,
+                        la::MatC& k) {
+  if (laser_) h_->set_vector_potential(laser_->vector_potential(t));
+  const std::vector<real_t> rho = ham::density_sigma(psi, sigma, h_->den_map());
+  h_->set_density(rho);
+  if (opt_.hybrid) {
+    h_->set_exchange_mode(ham::ExchangeMode::kExactDiag);
+    h_->set_exchange_source_mixed(psi, sigma);
+  } else {
+    h_->set_exchange_mode(ham::ExchangeMode::kNone);
+  }
+  h_->apply(psi, k);
+  for (size_t i = 0; i < k.size(); ++i) k.data()[i] *= cplx(0.0, -1.0);
+}
+
+void Rk4Propagator::step(TdState& s) {
+  ScopedTimer timer("td.rk4_step");
+  const real_t dt = opt_.dt;
+  const real_t t = s.time;
+  const size_t n = s.phi.size();
+
+  la::MatC k1, k2, k3, k4, tmp(s.phi.rows(), s.phi.cols());
+  rhs(t, s.phi, s.sigma, k1);
+
+  for (size_t i = 0; i < n; ++i)
+    tmp.data()[i] = s.phi.data()[i] + 0.5 * dt * k1.data()[i];
+  rhs(t + 0.5 * dt, tmp, s.sigma, k2);
+
+  for (size_t i = 0; i < n; ++i)
+    tmp.data()[i] = s.phi.data()[i] + 0.5 * dt * k2.data()[i];
+  rhs(t + 0.5 * dt, tmp, s.sigma, k3);
+
+  for (size_t i = 0; i < n; ++i)
+    tmp.data()[i] = s.phi.data()[i] + dt * k3.data()[i];
+  rhs(t + dt, tmp, s.sigma, k4);
+
+  const real_t w = dt / 6.0;
+  for (size_t i = 0; i < n; ++i)
+    s.phi.data()[i] += w * (k1.data()[i] + 2.0 * k2.data()[i] +
+                            2.0 * k3.data()[i] + k4.data()[i]);
+  s.time += dt;
+}
+
+}  // namespace ptim::td

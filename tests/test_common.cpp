@@ -1,0 +1,85 @@
+// Units, RNG determinism, timers and error checks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+
+using namespace ptim;
+
+TEST(Units, TimeConversions) {
+  // 50 attoseconds (the paper's PT-IM step) in atomic units.
+  const real_t dt = units::as_to_au(50.0);
+  EXPECT_NEAR(dt, 2.067, 1e-3);
+  EXPECT_NEAR(units::fs_to_au(1.0) * units::au_time_fs, 1.0, 1e-12);
+}
+
+TEST(Units, PhotonEnergy380nm) {
+  // 380 nm laser (paper Sec. VI): ~3.26 eV.
+  const real_t w = units::photon_energy_ha(380.0);
+  EXPECT_NEAR(w * units::hartree_in_ev, 3.2627, 1e-3);
+}
+
+TEST(Units, BoltzmannAt8000K) {
+  // kT at the paper's 8000 K.
+  EXPECT_NEAR(8000.0 * units::kboltz_ha_per_k, 0.02533, 1e-4);
+}
+
+TEST(Rng, DeterministicStreams) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    (void)c.next_u64();
+  }
+  // Different seeds diverge.
+  Rng a2(42), c2(43);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a2.next_u64() == c2.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const real_t u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMean) {
+  Rng rng(11);
+  real_t sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 5e-3);
+}
+
+TEST(Error, CheckMacroThrows) {
+  EXPECT_THROW(PTIM_CHECK(1 == 2), Error);
+  EXPECT_NO_THROW(PTIM_CHECK(1 == 1));
+  try {
+    PTIM_CHECK_MSG(false, "context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Profile, RegistryAccumulates) {
+  auto& reg = ProfileRegistry::instance();
+  reg.clear();
+  { ScopedTimer t("unit.section"); }
+  { ScopedTimer t("unit.section"); }
+  const ProfileEntry e = reg.get("unit.section");
+  EXPECT_EQ(e.count, 2);
+  EXPECT_GE(e.seconds, 0.0);
+  reg.clear();
+  EXPECT_EQ(reg.get("unit.section").count, 0);
+}

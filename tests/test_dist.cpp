@@ -1,0 +1,216 @@
+// Distributed kernels: block layouts, the Fig. 1 Alltoallv transpose, the
+// Fig. 6 SHM overlap reduction, and — centrally — the equality of the
+// Bcast / Ring / Async-Ring exchange patterns with the serial operator.
+
+#include <gtest/gtest.h>
+
+#include "dist/exchange_dist.hpp"
+#include "dist/layout.hpp"
+#include "dist/transpose.hpp"
+#include "la/blas.hpp"
+#include "test_helpers.hpp"
+
+using namespace ptim;
+
+TEST(Layout, BlockDecomposition) {
+  const dist::BlockLayout lay(10, 4);
+  // 10 = 3 + 3 + 2 + 2.
+  EXPECT_EQ(lay.count(0), 3u);
+  EXPECT_EQ(lay.count(1), 3u);
+  EXPECT_EQ(lay.count(2), 2u);
+  EXPECT_EQ(lay.count(3), 2u);
+  EXPECT_EQ(lay.offset(0), 0u);
+  EXPECT_EQ(lay.offset(3), 8u);
+  EXPECT_EQ(lay.total(), 10u);
+  EXPECT_EQ(lay.owner(0), 0);
+  EXPECT_EQ(lay.owner(5), 1);
+  EXPECT_EQ(lay.owner(9), 3);
+}
+
+TEST(Layout, MorePartsThanItems) {
+  const dist::BlockLayout lay(2, 4);
+  EXPECT_EQ(lay.count(0), 1u);
+  EXPECT_EQ(lay.count(1), 1u);
+  EXPECT_EQ(lay.count(2), 0u);
+  EXPECT_EQ(lay.count(3), 0u);
+  EXPECT_EQ(lay.total(), 2u);
+}
+
+class TransposeParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransposeParam, BandGridRoundTrip) {
+  const int p = GetParam();
+  const size_t npw = 37, nb = 7;
+  const la::MatC full = test::random_matrix(npw, nb, 200 + p);
+  const dist::BlockLayout bands(nb, p), rows(npw, p);
+
+  std::vector<la::MatC> grid_blocks(static_cast<size_t>(p));
+  std::vector<la::MatC> back_blocks(static_cast<size_t>(p));
+  ptmpi::run_ranks(p, 1, [&](ptmpi::Comm& c) {
+    const int me = c.rank();
+    la::MatC band_block(npw, bands.count(me));
+    for (size_t b = 0; b < bands.count(me); ++b)
+      for (size_t i = 0; i < npw; ++i)
+        band_block(i, b) = full(i, bands.offset(me) + b);
+
+    la::MatC g = dist::band_to_grid(c, band_block, bands, rows);
+    grid_blocks[static_cast<size_t>(me)] = g;
+    back_blocks[static_cast<size_t>(me)] =
+        dist::grid_to_band(c, g, bands, rows);
+  });
+
+  // Grid blocks: rank r holds rows [rows.offset(r), ...) of all columns.
+  for (int r = 0; r < p; ++r) {
+    const auto& g = grid_blocks[static_cast<size_t>(r)];
+    ASSERT_EQ(g.rows(), rows.count(r));
+    ASSERT_EQ(g.cols(), nb);
+    for (size_t b = 0; b < nb; ++b)
+      for (size_t i = 0; i < rows.count(r); ++i)
+        EXPECT_NEAR(std::abs(g(i, b) - full(rows.offset(r) + i, b)), 0.0,
+                    1e-14);
+  }
+  // Round trip restores the band blocks.
+  for (int r = 0; r < p; ++r) {
+    const auto& bb = back_blocks[static_cast<size_t>(r)];
+    for (size_t b = 0; b < bands.count(r); ++b)
+      for (size_t i = 0; i < npw; ++i)
+        EXPECT_NEAR(std::abs(bb(i, b) - full(i, bands.offset(r) + b)), 0.0,
+                    1e-14);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, TransposeParam,
+                         ::testing::Values(1, 2, 3, 4, 7));
+
+TEST(Overlap, DistributedMatchesSerial) {
+  const size_t npw = 48, m = 5, n = 4;
+  const la::MatC a = test::random_matrix(npw, m, 301);
+  const la::MatC b = test::random_matrix(npw, n, 302);
+  la::MatC ref(m, n);
+  la::gemm_cn(a, b, ref);
+
+  for (const bool use_shm : {false, true}) {
+    const int p = 4;
+    const dist::BlockLayout rows(npw, p);
+    std::vector<la::MatC> results(static_cast<size_t>(p));
+    ptmpi::run_ranks(p, 2, [&](ptmpi::Comm& c) {
+      const int me = c.rank();
+      la::MatC ar(rows.count(me), m), br(rows.count(me), n);
+      for (size_t j = 0; j < m; ++j)
+        for (size_t i = 0; i < rows.count(me); ++i)
+          ar(i, j) = a(rows.offset(me) + i, j);
+      for (size_t j = 0; j < n; ++j)
+        for (size_t i = 0; i < rows.count(me); ++i)
+          br(i, j) = b(rows.offset(me) + i, j);
+      results[static_cast<size_t>(me)] =
+          dist::overlap_distributed(c, ar, br, use_shm);
+    });
+    for (int r = 0; r < p; ++r)
+      EXPECT_LT(la::frob_diff(results[static_cast<size_t>(r)], ref), 1e-11)
+          << "use_shm=" << use_shm << " rank=" << r;
+  }
+}
+
+TEST(Overlap, ShmReducesAllreduceTraffic) {
+  // Fig. 6's claim: with node-shared accumulation, allreduce bytes stay the
+  // same per call but only node leaders contribute meaningful data; the
+  // measurable proxy here is that the SHM path issues exactly one
+  // allreduce while producing the same result (traffic reduction is a
+  // netsim-level claim, correctness is checked above).
+  const size_t npw = 32, m = 3;
+  const la::MatC a = test::random_matrix(npw, m, 303);
+  const int p = 4;
+  const dist::BlockLayout rows(npw, p);
+  ptmpi::run_ranks(p, 2, [&](ptmpi::Comm& c) {
+    const int me = c.rank();
+    la::MatC ar(rows.count(me), m);
+    for (size_t j = 0; j < m; ++j)
+      for (size_t i = 0; i < rows.count(me); ++i)
+        ar(i, j) = a(rows.offset(me) + i, j);
+    (void)dist::overlap_distributed(c, ar, ar, true);
+  });
+  const auto& stats = ptmpi::last_run_stats();
+  for (const auto& s : stats)
+    EXPECT_EQ(s.ops.at("Allreduce").calls, 1);
+}
+
+// ------------------------------------------------------- exchange dist ---
+
+namespace {
+struct XEnv {
+  test::TinySystem sys = test::TinySystem::make(3.0);
+  pw::SphereGridMap map{*sys.sphere, *sys.wfc_grid};
+  ham::ExchangeOperator xop{map, {}};
+};
+}  // namespace
+
+class ExchangePatternParam
+    : public ::testing::TestWithParam<std::tuple<dist::ExchangePattern, int>> {
+};
+
+TEST_P(ExchangePatternParam, MatchesSerialOperator) {
+  const auto [pattern, p] = GetParam();
+  XEnv e;
+  const size_t npw = e.sys.sphere->npw();
+  const size_t nb = 6;
+  const la::MatC src = test::random_orbitals(npw, nb, 401);
+  std::vector<real_t> d{1.0, 0.9, 0.7, 0.4, 0.2, 0.05};
+  const la::MatC tgt = src;
+
+  la::MatC ref(npw, nb);
+  e.xop.apply_diag(src, d, tgt, ref);
+
+  const dist::BlockLayout bands(nb, p);
+  std::vector<la::MatC> blocks(static_cast<size_t>(p));
+  ptmpi::run_ranks(p, 2, [&](ptmpi::Comm& c) {
+    blocks[static_cast<size_t>(c.rank())] =
+        dist::exchange_apply_distributed(c, e.xop, src, d, tgt, pattern);
+  });
+
+  for (int r = 0; r < p; ++r) {
+    const auto& blk = blocks[static_cast<size_t>(r)];
+    ASSERT_EQ(blk.cols(), bands.count(r));
+    for (size_t b = 0; b < bands.count(r); ++b)
+      for (size_t i = 0; i < npw; ++i)
+        EXPECT_NEAR(std::abs(blk(i, b) - ref(i, bands.offset(r) + b)), 0.0,
+                    1e-10)
+            << dist::pattern_name(pattern) << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PatternsByRanks, ExchangePatternParam,
+    ::testing::Combine(::testing::Values(dist::ExchangePattern::kBcast,
+                                         dist::ExchangePattern::kRing,
+                                         dist::ExchangePattern::kAsyncRing),
+                       ::testing::Values(1, 2, 3, 4)));
+
+TEST(ExchangeDist, RingUsesSendrecvNotBcast) {
+  // The communication-pattern shift the paper's Table I reports: Bcast
+  // bytes collapse to zero under the ring variants, replaced by Sendrecv
+  // (sync) or Wait (async).
+  XEnv e;
+  const size_t npw = e.sys.sphere->npw();
+  const la::MatC src = test::random_orbitals(npw, 4, 402);
+  const std::vector<real_t> d{1.0, 0.8, 0.5, 0.2};
+
+  auto run = [&](dist::ExchangePattern pat) {
+    ptmpi::run_ranks(4, 2, [&](ptmpi::Comm& c) {
+      (void)dist::exchange_apply_distributed(c, e.xop, src, d, src, pat);
+    });
+    return ptmpi::last_run_stats();
+  };
+
+  const auto s_bcast = run(dist::ExchangePattern::kBcast);
+  EXPECT_GT(s_bcast[0].ops.at("Bcast").calls, 0);
+  EXPECT_EQ(s_bcast[0].ops.count("Sendrecv"), 0u);
+
+  const auto s_ring = run(dist::ExchangePattern::kRing);
+  EXPECT_EQ(s_ring[0].ops.count("Bcast"), 0u);
+  EXPECT_EQ(s_ring[0].ops.at("Sendrecv").calls, 3);  // p-1 steps
+
+  const auto s_async = run(dist::ExchangePattern::kAsyncRing);
+  EXPECT_EQ(s_async[0].ops.count("Bcast"), 0u);
+  EXPECT_EQ(s_async[0].ops.count("Sendrecv"), 0u);
+  EXPECT_GT(s_async[0].ops.at("Wait").calls, 0);
+}

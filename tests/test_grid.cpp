@@ -1,0 +1,176 @@
+// Lattice/reciprocal geometry, G-sphere construction and the sphere<->grid
+// transforms whose normalization conventions everything else leans on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "grid/fft_grid.hpp"
+#include "grid/gsphere.hpp"
+#include "la/blas.hpp"
+#include "pw/transforms.hpp"
+#include "pw/wavefunction.hpp"
+#include "test_helpers.hpp"
+
+using namespace ptim;
+
+TEST(Lattice, ReciprocalIdentity) {
+  const grid::Lattice lat({10.0, 0.0, 0.0}, {1.0, 8.0, 0.0}, {0.0, 2.0, 9.0});
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) {
+      const real_t expected = (i == j) ? kTwoPi : 0.0;
+      EXPECT_NEAR(grid::dot(lat.bvec(i), lat.avec(j)), expected, 1e-12);
+    }
+  EXPECT_NEAR(lat.volume(), 10.0 * 8.0 * 9.0, 1e-9);
+}
+
+TEST(Lattice, CubicCenter) {
+  const auto lat = grid::Lattice::cubic(6.0);
+  const auto c = lat.center();
+  EXPECT_NEAR(c[0], 3.0, 1e-14);
+  EXPECT_NEAR(c[1], 3.0, 1e-14);
+  EXPECT_NEAR(c[2], 3.0, 1e-14);
+}
+
+TEST(GSphere, InversionSymmetricAndSorted) {
+  const auto lat = grid::Lattice::cubic(9.0);
+  const grid::GSphere s(lat, 4.0);
+  ASSERT_GT(s.npw(), 10u);
+  // All |G|^2/2 <= ecut, ascending.
+  for (size_t i = 0; i < s.npw(); ++i) {
+    EXPECT_LE(0.5 * s.g2()[i], 4.0 + 1e-12);
+    if (i > 0) EXPECT_GE(s.g2()[i], s.g2()[i - 1] - 1e-12);
+  }
+  // G=0 comes first, -G present for every G.
+  EXPECT_EQ(s.freqs()[0][0], 0);
+  std::set<std::array<int, 3>> all(s.freqs().begin(), s.freqs().end());
+  for (const auto& f : s.freqs()) {
+    EXPECT_TRUE(all.count({-f[0], -f[1], -f[2]}));
+  }
+}
+
+TEST(GSphere, CountScalesWithVolume) {
+  // npw ~ Omega * gmax^3 / (6 pi^2): doubling the box along z roughly
+  // doubles the count.
+  const auto lat1 = grid::Lattice::cubic(9.0);
+  const auto lat2 = grid::Lattice::orthorhombic(9.0, 9.0, 18.0);
+  const grid::GSphere s1(lat1, 5.0), s2(lat2, 5.0);
+  const real_t ratio = static_cast<real_t>(s2.npw()) / s1.npw();
+  EXPECT_NEAR(ratio, 2.0, 0.15);
+}
+
+TEST(GSphere, MapToGridIsInjective) {
+  const auto lat = grid::Lattice::cubic(9.0);
+  const grid::GSphere s(lat, 4.0);
+  const grid::FftGrid g(lat, s.suggest_dims(1));
+  const auto map = s.map_to(g);
+  std::set<size_t> unique(map.begin(), map.end());
+  EXPECT_EQ(unique.size(), map.size());
+  for (size_t i = 0; i < s.npw(); ++i) {
+    // Grid point frequency matches the sphere frequency.
+    const auto f = g.freq3(map[i]);
+    EXPECT_EQ(f[0], s.freqs()[i][0]);
+    EXPECT_EQ(f[1], s.freqs()[i][1]);
+    EXPECT_EQ(f[2], s.freqs()[i][2]);
+  }
+}
+
+TEST(FftGrid, G2TableMatchesFreq) {
+  const auto lat = grid::Lattice::cubic(7.0);
+  const grid::FftGrid g(lat, {6, 6, 6});
+  for (size_t i = 0; i < g.size(); i += 17) {
+    const auto f = g.freq3(i);
+    const auto gv = lat.gvec(f[0], f[1], f[2]);
+    EXPECT_NEAR(g.g2()[i], grid::norm2(gv), 1e-12);
+  }
+}
+
+class TransformFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lat_ = std::make_unique<grid::Lattice>(grid::Lattice::cubic(8.0));
+    sphere_ = std::make_unique<grid::GSphere>(*lat_, 3.5);
+    grid_ = std::make_unique<grid::FftGrid>(*lat_, sphere_->suggest_dims(1));
+    dense_ = std::make_unique<grid::FftGrid>(*lat_, sphere_->suggest_dims(2));
+    map_ = std::make_unique<pw::SphereGridMap>(*sphere_, *grid_);
+    dmap_ = std::make_unique<pw::SphereGridMap>(*sphere_, *dense_);
+  }
+  std::unique_ptr<grid::Lattice> lat_;
+  std::unique_ptr<grid::GSphere> sphere_;
+  std::unique_ptr<grid::FftGrid> grid_, dense_;
+  std::unique_ptr<pw::SphereGridMap> map_, dmap_;
+};
+
+TEST_F(TransformFixture, RoundTripSphereGridSphere) {
+  const size_t npw = sphere_->npw();
+  la::MatC c = test::random_matrix(npw, 3, 7);
+  la::MatC real_space;
+  map_->to_real_batch(c, real_space);
+  la::MatC back;
+  map_->to_sphere_batch(real_space, back);
+  EXPECT_LT(la::frob_diff(c, back), 1e-10);
+}
+
+TEST_F(TransformFixture, NormalizationIsUnitary) {
+  // <psi|psi> = sum |c|^2 = dvol * sum |psi(r)|^2.
+  const size_t npw = sphere_->npw();
+  la::MatC c = test::random_matrix(npw, 1, 8);
+  real_t norm_c = 0.0;
+  for (size_t i = 0; i < npw; ++i) norm_c += std::norm(c(i, 0));
+  std::vector<cplx> u(grid_->size());
+  map_->to_real(c.col(0), u.data());
+  real_t norm_r = 0.0;
+  for (const auto& v : u) norm_r += std::norm(v);
+  norm_r *= grid_->dvol();
+  EXPECT_NEAR(norm_r, norm_c, 1e-9 * norm_c);
+}
+
+TEST_F(TransformFixture, DenseGridRoundTripMatches) {
+  // The same coefficients produce consistent values on both grids
+  // (band-limited function, denser sampling).
+  const size_t npw = sphere_->npw();
+  la::MatC c = test::random_matrix(npw, 1, 9);
+  la::MatC back;
+  la::MatC real_dense;
+  dmap_->to_real_batch(c, real_dense);
+  dmap_->to_sphere_batch(real_dense, back);
+  EXPECT_LT(la::frob_diff(c, back), 1e-10);
+}
+
+TEST_F(TransformFixture, PlaneWaveValueOnGrid) {
+  // A single-G coefficient must produce e^{iG.r}/sqrt(Omega) pointwise.
+  const size_t npw = sphere_->npw();
+  const size_t pick = npw / 3;
+  la::MatC c(npw, 1);
+  c(pick, 0) = 1.0;
+  std::vector<cplx> u(grid_->size());
+  map_->to_real(c.col(0), u.data());
+  const auto gv = sphere_->gvec(pick);
+  const real_t s = 1.0 / std::sqrt(lat_->volume());
+  const auto& dims = grid_->dims();
+  for (size_t i2 = 0; i2 < dims[2]; i2 += 3)
+    for (size_t i1 = 0; i1 < dims[1]; i1 += 3)
+      for (size_t i0 = 0; i0 < dims[0]; i0 += 3) {
+        const auto r = grid_->rvec(i0, i1, i2);
+        const real_t ph = grid::dot(gv, r);
+        const cplx expect = s * cplx{std::cos(ph), std::sin(ph)};
+        EXPECT_NEAR(std::abs(u[grid_->linear(i0, i1, i2)] - expect), 0.0, 1e-10);
+      }
+}
+
+TEST(Orthonormalize, CholeskyAndLowdin) {
+  la::MatC phi = test::random_matrix(60, 6, 11);
+  la::MatC phi2 = phi;
+  pw::orthonormalize_cholesky(phi);
+  EXPECT_LT(pw::orthonormality_defect(phi), 1e-10);
+  pw::orthonormalize_lowdin(phi2);
+  EXPECT_LT(pw::orthonormality_defect(phi2), 1e-10);
+  // Both span the same space: projector difference vanishes.
+  la::MatC s(6, 6);
+  la::gemm_cn(phi, phi2, s);
+  // |det|-like check: S must be unitary.
+  la::MatC shs(6, 6);
+  la::gemm('C', 'N', 1.0, s, s, 0.0, shs);
+  EXPECT_LT(la::frob_diff(shs, la::MatC::identity(6)), 1e-9);
+}

@@ -1,0 +1,87 @@
+#pragma once
+// Shared fixtures: tiny silicon-like systems small enough for sub-second
+// unit tests, plus random-matrix helpers.
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "grid/fft_grid.hpp"
+#include "grid/gsphere.hpp"
+#include "ham/hamiltonian.hpp"
+#include "la/matrix.hpp"
+#include "pseudo/atoms.hpp"
+#include "pw/transforms.hpp"
+#include "pw/wavefunction.hpp"
+
+namespace ptim::test {
+
+// A self-contained tiny periodic system: 2 Si atoms in a small cubic box.
+struct TinySystem {
+  std::unique_ptr<grid::Lattice> lattice;
+  pseudo::AtomList atoms;
+  std::unique_ptr<grid::GSphere> sphere;
+  std::unique_ptr<grid::FftGrid> wfc_grid;
+  std::unique_ptr<grid::FftGrid> den_grid;
+  std::unique_ptr<ham::Hamiltonian> ham;
+
+  static TinySystem make(real_t ecut = 3.0, real_t box = 8.0,
+                         ham::HamiltonianOptions opt = {}) {
+    TinySystem s;
+    s.lattice = std::make_unique<grid::Lattice>(grid::Lattice::cubic(box));
+    s.atoms.species = pseudo::Species::silicon_ah();
+    s.atoms.positions = {{0.1 * box, 0.15 * box, 0.2 * box},
+                         {0.6 * box, 0.55 * box, 0.65 * box}};
+    s.sphere = std::make_unique<grid::GSphere>(*s.lattice, ecut);
+    s.wfc_grid = std::make_unique<grid::FftGrid>(*s.lattice,
+                                                 s.sphere->suggest_dims(1));
+    s.den_grid = std::make_unique<grid::FftGrid>(*s.lattice,
+                                                 s.sphere->suggest_dims(2));
+    s.ham = std::make_unique<ham::Hamiltonian>(
+        *s.lattice, s.atoms, *s.sphere, *s.wfc_grid, *s.den_grid, opt);
+    return s;
+  }
+};
+
+inline la::MatC random_matrix(size_t rows, size_t cols, unsigned seed) {
+  Rng rng(seed);
+  la::MatC m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.uniform_cplx();
+  return m;
+}
+
+inline la::MatC random_hermitian(size_t n, unsigned seed) {
+  la::MatC a = random_matrix(n, n, seed);
+  la::MatC h(n, n);
+  for (size_t j = 0; j < n; ++j)
+    for (size_t i = 0; i < n; ++i)
+      h(i, j) = 0.5 * (a(i, j) + std::conj(a(j, i)));
+  return h;
+}
+
+// Random Hermitian with eigenvalues in (0,1) — a physical occupation matrix.
+inline la::MatC random_occupation_matrix(size_t n, unsigned seed) {
+  la::MatC h = random_hermitian(n, seed);
+  // Map spectrum into (0,1) via logistic of a scaled Hermitian: cheap —
+  // shift/scale using Gershgorin bound.
+  real_t bound = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    real_t row = 0.0;
+    for (size_t j = 0; j < n; ++j) row += std::abs(h(i, j));
+    bound = std::max(bound, row);
+  }
+  la::MatC occ(n, n);
+  for (size_t j = 0; j < n; ++j)
+    for (size_t i = 0; i < n; ++i)
+      occ(i, j) = h(i, j) * (0.45 / std::max(bound, real_t(1.0)));
+  for (size_t i = 0; i < n; ++i) occ(i, i) += 0.5;
+  return occ;
+}
+
+// Orthonormal random orbitals on a sphere basis.
+inline la::MatC random_orbitals(size_t npw, size_t nb, unsigned seed) {
+  la::MatC phi = random_matrix(npw, nb, seed);
+  pw::orthonormalize_lowdin(phi);
+  return phi;
+}
+
+}  // namespace ptim::test

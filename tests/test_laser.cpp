@@ -1,0 +1,104 @@
+// Laser pulse edge cases and the time-dependent Hamiltonian plumbing that
+// the propagators rely on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "td/laser.hpp"
+#include "test_helpers.hpp"
+
+using namespace ptim;
+
+TEST(LaserPulse, DefaultsCenterTheEnvelope) {
+  td::LaserParams p;
+  p.e0 = 0.01;
+  const real_t t_max = 120.0;
+  td::LaserPulse laser(p, t_max);
+  EXPECT_NEAR(laser.params().t_center, 0.5 * t_max, 1e-12);
+  EXPECT_NEAR(laser.params().t_width, t_max / 6.0, 1e-12);
+}
+
+TEST(LaserPulse, ExplicitEnvelopeRespected) {
+  td::LaserParams p;
+  p.e0 = 0.02;
+  p.t_center = 30.0;
+  p.t_width = 5.0;
+  td::LaserPulse laser(p, 100.0);
+  // Envelope maximum near the requested center.
+  real_t best_t = 0.0, best = 0.0;
+  for (real_t t = 0.0; t < 100.0; t += 0.1) {
+    const real_t e = std::abs(laser.efield(t));
+    if (e > best) {
+      best = e;
+      best_t = t;
+    }
+  }
+  EXPECT_NEAR(best_t, 30.0, 6.0);  // within a carrier period of the center
+}
+
+TEST(LaserPulse, PolarizationCarriesThrough) {
+  td::LaserParams p;
+  p.e0 = 0.01;
+  p.polarization = {0.0, 1.0, 0.0};
+  td::LaserPulse laser(p, 50.0);
+  const auto e = laser.efield_vec(25.0);
+  EXPECT_EQ(e[0], 0.0);
+  EXPECT_EQ(e[2], 0.0);
+  const auto a = laser.vector_potential(25.0);
+  EXPECT_EQ(a[0], 0.0);
+  EXPECT_NE(a[1], 0.0);
+}
+
+TEST(LaserPulse, VectorPotentialBeyondTableClamps) {
+  td::LaserParams p;
+  p.e0 = 0.01;
+  td::LaserPulse laser(p, 40.0);
+  // After the pulse dies the vector potential must approach a constant:
+  // A(t_max) ~ A(t > t_max) (the 3-sigma envelope tail leaves a ~1e-4
+  // relative residue, which is physical, not a table artifact).
+  const real_t a_end = laser.vector_potential(40.0)[0];
+  const real_t a_past = laser.vector_potential(80.0)[0];
+  EXPECT_NEAR(a_past, a_end, 1e-3 * std::abs(a_end));
+  // And it must be exactly flat once past the table.
+  EXPECT_EQ(laser.vector_potential(80.0)[0], laser.vector_potential(120.0)[0]);
+}
+
+TEST(LaserPulse, NegativeTimeIsFieldFreeStart) {
+  td::LaserParams p;
+  p.e0 = 0.01;
+  td::LaserPulse laser(p, 40.0);
+  EXPECT_EQ(laser.vector_potential(-1.0)[0], 0.0);
+}
+
+TEST(LaserPulse, FluenceScalesWithE0) {
+  // Integral E^2 dt scales as e0^2 — a sanity check on the envelope math.
+  auto fluence = [](real_t e0) {
+    td::LaserParams p;
+    p.e0 = e0;
+    td::LaserPulse laser(p, 60.0);
+    real_t acc = 0.0;
+    for (real_t t = 0.0; t < 60.0; t += 0.01)
+      acc += laser.efield(t) * laser.efield(t) * 0.01;
+    return acc;
+  };
+  EXPECT_NEAR(fluence(0.02) / fluence(0.01), 4.0, 1e-6);
+}
+
+TEST(LaserPulse, WavelengthSetsCarrierPeriod) {
+  td::LaserParams p;
+  p.e0 = 0.01;
+  p.t_width = 1e6;  // effectively flat envelope
+  p.t_center = 0.0;
+  td::LaserPulse laser(p, 300.0);
+  // Count zero crossings of E(t) over a window: ~ 2 per period.
+  const real_t period = kTwoPi / laser.omega();
+  int crossings = 0;
+  real_t prev = laser.efield(10.0);
+  for (real_t t = 10.0; t < 10.0 + 5.0 * period; t += period / 400.0) {
+    const real_t cur = laser.efield(t);
+    if (prev * cur < 0.0) ++crossings;
+    prev = cur;
+  }
+  EXPECT_NEAR(crossings, 10, 1);
+}

@@ -1,0 +1,214 @@
+// The in-process MPI substitute: point-to-point semantics, collectives,
+// nonblocking requests, shared-memory windows and statistics recording.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "ptmpi/comm.hpp"
+
+using namespace ptim;
+
+TEST(Ptmpi, RankIdentity) {
+  std::vector<int> seen(6, -1);
+  ptmpi::run_ranks(6, 2, [&](ptmpi::Comm& c) {
+    seen[static_cast<size_t>(c.rank())] = c.rank();
+    EXPECT_EQ(c.size(), 6);
+    EXPECT_EQ(c.node(), c.rank() / 2);
+    EXPECT_EQ(c.node_rank(), c.rank() % 2);
+  });
+  for (int r = 0; r < 6; ++r) EXPECT_EQ(seen[static_cast<size_t>(r)], r);
+}
+
+TEST(Ptmpi, SendRecvPair) {
+  ptmpi::run_ranks(2, 1, [](ptmpi::Comm& c) {
+    if (c.rank() == 0) {
+      const double x = 42.5;
+      c.send(1, &x, sizeof(x), 7);
+    } else {
+      double y = 0.0;
+      c.recv(0, &y, sizeof(y), 7);
+      EXPECT_EQ(y, 42.5);
+    }
+  });
+}
+
+TEST(Ptmpi, TagMatching) {
+  // Messages with different tags are matched independently of arrival order.
+  ptmpi::run_ranks(2, 1, [](ptmpi::Comm& c) {
+    if (c.rank() == 0) {
+      const int a = 1, b = 2;
+      c.send(1, &a, sizeof(a), /*tag=*/10);
+      c.send(1, &b, sizeof(b), /*tag=*/20);
+    } else {
+      int b = 0, a = 0;
+      c.recv(0, &b, sizeof(b), 20);  // out of order on purpose
+      c.recv(0, &a, sizeof(a), 10);
+      EXPECT_EQ(a, 1);
+      EXPECT_EQ(b, 2);
+    }
+  });
+}
+
+TEST(Ptmpi, NonblockingRing) {
+  const int p = 5;
+  std::vector<int> results(p, -1);
+  ptmpi::run_ranks(p, 1, [&](ptmpi::Comm& c) {
+    const int me = c.rank();
+    const int next = (me + 1) % p;
+    const int prev = (me - 1 + p) % p;
+    int payload = me, incoming = -1;
+    auto rr = c.irecv(prev, &incoming, sizeof(int), 0);
+    auto rs = c.isend(next, &payload, sizeof(int), 0);
+    c.wait(rs);
+    c.wait(rr);
+    results[static_cast<size_t>(me)] = incoming;
+  });
+  for (int r = 0; r < p; ++r)
+    EXPECT_EQ(results[static_cast<size_t>(r)], (r - 1 + p) % p);
+}
+
+TEST(Ptmpi, SendrecvRotatesRing) {
+  const int p = 4;
+  std::vector<int> results(p, -1);
+  ptmpi::run_ranks(p, 1, [&](ptmpi::Comm& c) {
+    const int me = c.rank();
+    int out_v = 100 + me, in_v = -1;
+    c.sendrecv((me + 1) % p, &out_v, sizeof(int), (me - 1 + p) % p, &in_v,
+               sizeof(int));
+    results[static_cast<size_t>(me)] = in_v;
+  });
+  for (int r = 0; r < p; ++r)
+    EXPECT_EQ(results[static_cast<size_t>(r)], 100 + (r - 1 + p) % p);
+}
+
+TEST(Ptmpi, BcastFromEveryRoot) {
+  const int p = 4;
+  for (int root = 0; root < p; ++root) {
+    std::vector<double> results(p, 0.0);
+    ptmpi::run_ranks(p, 2, [&](ptmpi::Comm& c) {
+      double v = (c.rank() == root) ? 3.14 * (root + 1) : 0.0;
+      c.bcast(&v, sizeof(v), root);
+      results[static_cast<size_t>(c.rank())] = v;
+    });
+    for (int r = 0; r < p; ++r)
+      EXPECT_EQ(results[static_cast<size_t>(r)], 3.14 * (root + 1));
+  }
+}
+
+TEST(Ptmpi, AllreduceSums) {
+  const int p = 6;
+  std::vector<real_t> results(p, 0.0);
+  ptmpi::run_ranks(p, 3, [&](ptmpi::Comm& c) {
+    std::vector<real_t> v{static_cast<real_t>(c.rank() + 1), 2.0};
+    c.allreduce_sum(v.data(), v.size());
+    results[static_cast<size_t>(c.rank())] = v[0];
+    EXPECT_NEAR(v[1], 2.0 * p, 1e-12);
+  });
+  const real_t expect = p * (p + 1) / 2.0;
+  for (int r = 0; r < p; ++r)
+    EXPECT_NEAR(results[static_cast<size_t>(r)], expect, 1e-12);
+}
+
+TEST(Ptmpi, AllreduceComplex) {
+  ptmpi::run_ranks(3, 1, [](ptmpi::Comm& c) {
+    cplx v{1.0, static_cast<real_t>(c.rank())};
+    c.allreduce_sum(&v, 1);
+    EXPECT_NEAR(std::abs(v - cplx(3.0, 3.0)), 0.0, 1e-12);
+  });
+}
+
+TEST(Ptmpi, Allgatherv) {
+  const int p = 4;
+  ptmpi::run_ranks(p, 2, [&](ptmpi::Comm& c) {
+    // Rank r contributes r+1 elements of value r.
+    std::vector<size_t> counts;
+    for (int r = 0; r < p; ++r) counts.push_back(static_cast<size_t>(r + 1));
+    std::vector<cplx> mine(static_cast<size_t>(c.rank() + 1),
+                           cplx(c.rank(), 0.0));
+    const size_t total = std::accumulate(counts.begin(), counts.end(),
+                                         size_t{0});
+    std::vector<cplx> all(total);
+    c.allgatherv(mine.data(), mine.size(), all.data(), counts);
+    size_t idx = 0;
+    for (int r = 0; r < p; ++r)
+      for (int k = 0; k <= r; ++k)
+        EXPECT_NEAR(std::abs(all[idx++] - cplx(r, 0.0)), 0.0, 1e-14);
+  });
+}
+
+TEST(Ptmpi, AlltoallvNonUniform) {
+  const int p = 3;
+  ptmpi::run_ranks(p, 1, [&](ptmpi::Comm& c) {
+    const int me = c.rank();
+    // Rank s sends (s + d + 1) elements of value 10*s + d to rank d.
+    std::vector<size_t> send_counts(p), recv_counts(p);
+    size_t stotal = 0, rtotal = 0;
+    for (int d = 0; d < p; ++d) {
+      send_counts[static_cast<size_t>(d)] = static_cast<size_t>(me + d + 1);
+      recv_counts[static_cast<size_t>(d)] = static_cast<size_t>(d + me + 1);
+      stotal += send_counts[static_cast<size_t>(d)];
+      rtotal += recv_counts[static_cast<size_t>(d)];
+    }
+    std::vector<cplx> send(stotal), recv(rtotal);
+    size_t pos = 0;
+    for (int d = 0; d < p; ++d)
+      for (size_t k = 0; k < send_counts[static_cast<size_t>(d)]; ++k)
+        send[pos++] = cplx(10.0 * me + d, 0.0);
+    c.alltoallv(send.data(), send_counts, recv.data(), recv_counts);
+    pos = 0;
+    for (int s = 0; s < p; ++s)
+      for (size_t k = 0; k < recv_counts[static_cast<size_t>(s)]; ++k)
+        EXPECT_NEAR(std::abs(recv[pos++] - cplx(10.0 * s + me, 0.0)), 0.0,
+                    1e-14);
+  });
+}
+
+TEST(Ptmpi, ShmSharedWithinNode) {
+  const int p = 4;  // 2 nodes x 2 ranks
+  ptmpi::run_ranks(p, 2, [&](ptmpi::Comm& c) {
+    cplx* buf = c.shm_allocate("window", 4);
+    c.barrier();
+    if (c.node_rank() == 0) buf[0] = cplx(100.0 + c.node(), 0.0);
+    c.barrier();
+    // Both ranks of the node see the leader's write; nodes are isolated.
+    EXPECT_NEAR(std::abs(buf[0] - cplx(100.0 + c.node(), 0.0)), 0.0, 1e-14);
+  });
+}
+
+TEST(Ptmpi, StatsRecorded) {
+  ptmpi::run_ranks(2, 1, [](ptmpi::Comm& c) {
+    std::vector<cplx> v(100, cplx(1.0));
+    c.allreduce_sum(v.data(), v.size());
+    if (c.rank() == 0) {
+      const double x = 1.0;
+      c.send(1, &x, sizeof(x));
+    } else {
+      double y;
+      c.recv(0, &y, sizeof(y));
+    }
+  });
+  const auto& stats = ptmpi::last_run_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].ops.at("Allreduce").calls, 1);
+  EXPECT_EQ(stats[0].ops.at("Allreduce").bytes,
+            static_cast<long long>(100 * sizeof(cplx)));
+  EXPECT_EQ(stats[0].ops.at("Send").calls, 1);
+  EXPECT_EQ(stats[1].ops.at("Recv").calls, 1);
+  EXPECT_GE(stats[0].total_seconds(), 0.0);
+}
+
+TEST(Ptmpi, ExceptionPropagates) {
+  bool threw = false;
+  try {
+    ptmpi::run_ranks(2, 1, [](ptmpi::Comm& c) {
+      if (c.rank() == 1) throw Error("rank 1 exploded");
+      // Rank 0 must not deadlock: no communication here.
+    });
+  } catch (const Error& e) {
+    threw = true;
+    EXPECT_NE(std::string(e.what()).find("exploded"), std::string::npos);
+  }
+  EXPECT_TRUE(threw);
+}
