@@ -1,8 +1,14 @@
 // Kernel microbenchmarks (google-benchmark): the primitives whose sustained
-// rates feed the netsim platform calibration — 3-D FFTs, zgemm, exchange
-// pair evaluation, ACE application and the density builders.
+// rates feed the netsim platform calibration — 3-D FFTs (single and
+// batched), zgemm, exchange pair evaluation at every batch size, ACE
+// application and the density builders. The custom main additionally prints
+// a per-pair vs batched exchange head-to-head and records the per-batch-size
+// FFT counts and timings to JSON for the perf trajectory.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
 
 #include "common/rng.hpp"
 #include "fft/fft.hpp"
@@ -60,6 +66,23 @@ static void BM_Fft3D(benchmark::State& state) {
 }
 BENCHMARK(BM_Fft3D)->Arg(16)->Arg(24)->Arg(32);
 
+static void BM_Fft3DBatch(benchmark::State& state) {
+  const size_t n = 20;
+  const auto nbatch = static_cast<size_t>(state.range(0));
+  fft::Fft3 f(n, n, n);
+  std::vector<cplx> data(f.size() * nbatch);
+  Rng rng(1);
+  for (auto& v : data) v = rng.uniform_cplx();
+  for (auto _ : state) {
+    f.forward_batch(data.data(), nbatch);
+    f.inverse_batch(data.data(), nbatch);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.counters["transforms/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(nbatch), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fft3DBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
 static void BM_GemmCN(benchmark::State& state) {
   const auto n = static_cast<size_t>(state.range(0));
   const la::MatC a = random_mat(4096, n, 2);
@@ -108,6 +131,33 @@ static void BM_ExchangeApplyN(benchmark::State& state) {
 }
 BENCHMARK(BM_ExchangeApplyN)->Arg(2)->Arg(4)->Arg(8);
 
+// Same problem (8 sources x 8 targets), swept over the exchange batch
+// size. Arg(1) is the per-pair ablation baseline; the per-batch-size FFT
+// counts and wall times land in the google-benchmark JSON via counters.
+static void BM_ExchangeBatchSize(benchmark::State& state) {
+  auto& x = xbench();
+  const auto bs = static_cast<size_t>(state.range(0));
+  const size_t nb = 8;
+  const size_t npw = x.sphere.npw();
+  la::MatC src = random_mat(npw, nb, 8);
+  pw::orthonormalize_lowdin(src);
+  la::MatC out(npw, nb);
+  const std::vector<real_t> d(nb, 0.5);
+  ham::ExchangeOptions opt;
+  opt.batch_size = bs;
+  ham::ExchangeOperator xop(x.map, opt);
+  xop.fft_count = 0;
+  for (auto _ : state) {
+    xop.apply_diag(src, d, src, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["ffts_per_apply"] = benchmark::Counter(
+      static_cast<double>(2 * nb * nb));
+  state.counters["pairFFTs/s"] = benchmark::Counter(
+      static_cast<double>(2 * nb * nb), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExchangeBatchSize)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
 static void BM_AceApply(benchmark::State& state) {
   auto& x = xbench();
   const auto nb = static_cast<size_t>(state.range(0));
@@ -139,3 +189,85 @@ static void BM_DensitySigma(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DensitySigma)->Arg(4)->Arg(8);
+
+namespace {
+
+// Head-to-head acceptance check: per-pair (batch_size = 1) vs batched
+// exchange on the same 8x8 problem — printed, and recorded per batch size
+// to bench_exchange_batch.json for the perf trajectory.
+void exchange_batch_comparison() {
+  auto& x = xbench();
+  const size_t nb = 8;
+  const size_t npw = x.sphere.npw();
+  la::MatC src = random_mat(npw, nb, 9);
+  pw::orthonormalize_lowdin(src);
+  const std::vector<real_t> d(nb, 0.5);
+
+  struct Row {
+    size_t batch;
+    double seconds;
+    long ffts;
+    double max_abs_diff;
+  };
+  std::vector<Row> rows;
+  la::MatC ref;
+  const int reps = 3;
+  for (const size_t bs : {size_t(1), size_t(2), size_t(4), size_t(8),
+                          size_t(16)}) {
+    ham::ExchangeOptions opt;
+    opt.batch_size = bs;
+    ham::ExchangeOperator xop(x.map, opt);
+    la::MatC out(npw, nb);
+    xop.apply_diag(src, d, src, out);  // warm-up
+    xop.fft_count = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) xop.apply_diag(src, d, src, out);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double sec =
+        std::chrono::duration<double>(t1 - t0).count() / reps;
+    double max_abs = 0.0;
+    if (bs == 1) {
+      ref = out;
+    } else {
+      for (size_t i = 0; i < out.size(); ++i)
+        max_abs =
+            std::max(max_abs, std::abs(out.data()[i] - ref.data()[i]));
+    }
+    rows.push_back({bs, sec, xop.fft_count / reps, max_abs});
+  }
+
+  std::printf("\nExchange apply: per-pair vs batched FFT (8 sources x 8 "
+              "targets, %zu^3-ish grid)\n", x.wfc.dims()[0]);
+  std::printf("%10s %12s %10s %10s %16s\n", "batch", "seconds", "FFTs",
+              "speedup", "max|d| vs B=1");
+  for (const auto& r : rows)
+    std::printf("%10zu %12.5f %10ld %9.2fx %16.2e\n", r.batch, r.seconds,
+                r.ffts, rows[0].seconds / r.seconds, r.max_abs_diff);
+
+  const char* path = "bench_exchange_batch.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fprintf(f, "{\n  \"exchange_batch\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i)
+      std::fprintf(f,
+                   "    {\"batch_size\": %zu, \"seconds\": %.6e, "
+                   "\"ffts\": %ld, \"speedup_vs_per_pair\": %.4f, "
+                   "\"max_abs_diff\": %.3e}%s\n",
+                   rows[i].batch, rows[i].seconds, rows[i].ffts,
+                   rows[0].seconds / rows[i].seconds, rows[i].max_abs_diff,
+                   i + 1 < rows.size() ? "," : "");
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("(per-batch-size timings written to %s)\n", path);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  exchange_batch_comparison();
+  return 0;
+}

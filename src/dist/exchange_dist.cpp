@@ -1,0 +1,108 @@
+#include "dist/exchange_dist.hpp"
+
+#include <algorithm>
+
+namespace ptim::dist {
+
+const char* pattern_name(ExchangePattern p) {
+  switch (p) {
+    case ExchangePattern::kBcast: return "bcast";
+    case ExchangePattern::kRing: return "ring";
+    case ExchangePattern::kAsyncRing: return "async";
+  }
+  return "?";
+}
+
+la::MatC exchange_apply_distributed(ptmpi::Comm& c,
+                                    const ham::ExchangeOperator& xop,
+                                    const la::MatC& src,
+                                    const std::vector<real_t>& d,
+                                    const la::MatC& tgt, ExchangePattern pat) {
+  const int p = c.size();
+  const int me = c.rank();
+  PTIM_CHECK(d.size() == src.cols());
+  const BlockLayout sb(src.cols(), p), tb(tgt.cols(), p);
+  const auto& map = xop.map();
+  const size_t ng = map.grid().size();
+  const size_t npw = tgt.rows();
+
+  // Local target block (sphere coefficients) and my source slab in real
+  // space — the payload that will circulate.
+  la::MatC tgt_local(npw, tb.count(me));
+  for (size_t b = 0; b < tb.count(me); ++b)
+    std::copy(tgt.col(tb.offset(me) + b), tgt.col(tb.offset(me) + b) + npw,
+              tgt_local.col(b));
+  la::MatC src_local(npw, sb.count(me));
+  for (size_t b = 0; b < sb.count(me); ++b)
+    std::copy(src.col(sb.offset(me) + b), src.col(sb.offset(me) + b) + npw,
+              src_local.col(b));
+  la::MatC mine;
+  map.to_real_batch(src_local, mine);
+
+  la::MatC out(npw, tb.count(me), cplx(0.0));
+
+  size_t maxw = 0;
+  for (int r = 0; r < p; ++r) maxw = std::max(maxw, sb.count(r));
+  const size_t slab_bytes = maxw * ng * sizeof(cplx);
+
+  // Accumulate the contribution of the slab that originated on `origin`.
+  auto apply_block = [&](const cplx* slab, int origin) {
+    const size_t w = sb.count(origin);
+    if (w == 0 || tb.count(me) == 0) return;
+    xop.apply_diag_realspace(slab, w, d.data() + sb.offset(origin), tgt_local,
+                             out, /*accumulate=*/true);
+  };
+
+  switch (pat) {
+    case ExchangePattern::kBcast: {
+      std::vector<cplx> buf(maxw * ng);
+      for (int root = 0; root < p; ++root) {
+        if (root == me)
+          std::copy(mine.data(), mine.data() + mine.size(), buf.begin());
+        c.bcast(buf.data(), slab_bytes, root);
+        apply_block(buf.data(), root);
+      }
+      break;
+    }
+    case ExchangePattern::kRing: {
+      std::vector<cplx> cur(maxw * ng, cplx(0.0)), nxt(maxw * ng);
+      std::copy(mine.data(), mine.data() + mine.size(), cur.begin());
+      const int next = (me + 1) % p;
+      const int prev = (me - 1 + p) % p;
+      for (int s = 0; s < p; ++s) {
+        apply_block(cur.data(), (me - s % p + p) % p);
+        if (s + 1 < p) {
+          c.sendrecv(next, cur.data(), slab_bytes, prev, nxt.data(),
+                     slab_bytes, /*tag=*/s);
+          std::swap(cur, nxt);
+        }
+      }
+      break;
+    }
+    case ExchangePattern::kAsyncRing: {
+      std::vector<cplx> cur(maxw * ng, cplx(0.0)), nxt(maxw * ng);
+      std::copy(mine.data(), mine.data() + mine.size(), cur.begin());
+      const int next = (me + 1) % p;
+      const int prev = (me - 1 + p) % p;
+      for (int s = 0; s < p; ++s) {
+        ptmpi::Request rr, rs;
+        const bool more = s + 1 < p;
+        if (more) {
+          rr = c.irecv(prev, nxt.data(), slab_bytes, /*tag=*/s);
+          rs = c.isend(next, cur.data(), slab_bytes, /*tag=*/s);
+        }
+        // Compute overlaps the in-flight transfer.
+        apply_block(cur.data(), (me - s % p + p) % p);
+        if (more) {
+          c.wait(rs);
+          c.wait(rr);
+          std::swap(cur, nxt);
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ptim::dist

@@ -1,0 +1,48 @@
+#pragma once
+// Block decompositions for distributing bands or grid rows over ranks.
+// Items are split as evenly as possible: the first (total % parts) ranks
+// get one extra item, matching the layout PWDFT uses for band parallelism.
+
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace ptim::dist {
+
+class BlockLayout {
+ public:
+  BlockLayout(size_t total, int parts) : total_(total), parts_(parts) {
+    PTIM_CHECK_MSG(parts >= 1, "BlockLayout: parts must be positive");
+  }
+
+  size_t total() const { return total_; }
+  int parts() const { return parts_; }
+
+  size_t count(int r) const {
+    const size_t p = static_cast<size_t>(parts_);
+    const size_t base = total_ / p;
+    const size_t extra = total_ % p;
+    return base + (static_cast<size_t>(r) < extra ? 1 : 0);
+  }
+
+  size_t offset(int r) const {
+    const size_t p = static_cast<size_t>(parts_);
+    const size_t base = total_ / p;
+    const size_t extra = total_ % p;
+    const size_t rr = static_cast<size_t>(r);
+    return rr * base + (rr < extra ? rr : extra);
+  }
+
+  int owner(size_t item) const {
+    PTIM_CHECK(item < total_);
+    for (int r = 0; r < parts_; ++r)
+      if (item < offset(r) + count(r)) return r;
+    return parts_ - 1;
+  }
+
+ private:
+  size_t total_;
+  int parts_;
+};
+
+}  // namespace ptim::dist

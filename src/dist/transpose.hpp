@@ -1,0 +1,31 @@
+#pragma once
+// Distributed data-movement kernels (paper Fig. 1 and Fig. 6):
+//  * band <-> grid transposes via Alltoallv — the wavefunction
+//    redistribution between band-parallel and grid-parallel phases,
+//  * the overlap reduction S = A^H B, optionally accumulating through a
+//    node-shared window before the inter-node Allreduce (the MPI-3 SHM
+//    optimization that collapses the Allreduce participant count).
+
+#include "dist/layout.hpp"
+#include "la/matrix.hpp"
+#include "ptmpi/comm.hpp"
+
+namespace ptim::dist {
+
+// Rank r enters holding the band block (npw x bands.count(r)) of a global
+// npw x nb matrix and leaves holding the row slab (rows.count(r) x nb).
+la::MatC band_to_grid(ptmpi::Comm& c, const la::MatC& band_block,
+                      const BlockLayout& bands, const BlockLayout& rows);
+
+// Exact inverse of band_to_grid.
+la::MatC grid_to_band(ptmpi::Comm& c, const la::MatC& grid_block,
+                      const BlockLayout& bands, const BlockLayout& rows);
+
+// Full m x n overlap S = A^H B from row-distributed A (local_rows x m) and
+// B (local_rows x n). With use_shm the per-rank partial products are first
+// summed into a node-shared window so only node leaders contribute real
+// data to the single final Allreduce.
+la::MatC overlap_distributed(ptmpi::Comm& c, const la::MatC& a,
+                             const la::MatC& b, bool use_shm);
+
+}  // namespace ptim::dist

@@ -1,5 +1,6 @@
 #include "gs/davidson.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -105,20 +106,20 @@ DavidsonResult davidson(
       break;
     }
 
-    // Precondition the unconverged residuals.
-    la::MatC t(npw, nb);
-    size_t nt = 0;
-    for (size_t j = 0; j < nb; ++j) {
-      if (res.resnorm[j] < 0.3 * opt.tol) continue;
-      const real_t eref =
-          std::max(std::abs(res.eps[j]), real_t(0.1));
-      for (size_t g = 0; g < npw; ++g)
-        t(g, nt) = teter(precond_diag[g], eref) * r(g, j);
-      ++nt;
-    }
+    // Precondition the unconverged residuals into one contiguous block so
+    // the subsequent apply_h(tkeep) runs the batched Hamiltonian path.
+    std::vector<size_t> unconverged;
+    for (size_t j = 0; j < nb; ++j)
+      if (res.resnorm[j] >= 0.3 * opt.tol) unconverged.push_back(j);
+    const size_t nt = unconverged.size();
     la::MatC tkeep(npw, nt);
-    for (size_t j = 0; j < nt; ++j)
-      for (size_t g = 0; g < npw; ++g) tkeep(g, j) = t(g, j);
+#pragma omp parallel for schedule(static)
+    for (size_t jj = 0; jj < nt; ++jj) {
+      const size_t j = unconverged[jj];
+      const real_t eref = std::max(std::abs(res.eps[j]), real_t(0.1));
+      for (size_t g = 0; g < npw; ++g)
+        tkeep(g, jj) = teter(precond_diag[g], eref) * r(g, j);
+    }
 
     // Restart when the subspace is full.
     if (v.cols() + nt > opt.max_subspace) {
@@ -135,16 +136,11 @@ DavidsonResult davidson(
     apply_h(tkeep, ht);
 
     la::MatC vnew(npw, v.cols() + kept), hvnew(npw, v.cols() + kept);
-    for (size_t j = 0; j < v.cols(); ++j)
-      for (size_t g = 0; g < npw; ++g) {
-        vnew(g, j) = v(g, j);
-        hvnew(g, j) = hv(g, j);
-      }
-    for (size_t j = 0; j < kept; ++j)
-      for (size_t g = 0; g < npw; ++g) {
-        vnew(g, v.cols() + j) = tkeep(g, j);
-        hvnew(g, v.cols() + j) = ht(g, j);
-      }
+    std::copy(v.data(), v.data() + v.size(), vnew.data());
+    std::copy(hv.data(), hv.data() + hv.size(), hvnew.data());
+    std::copy(tkeep.data(), tkeep.data() + tkeep.size(),
+              vnew.col(v.cols()));
+    std::copy(ht.data(), ht.data() + ht.size(), hvnew.col(v.cols()));
     v = std::move(vnew);
     hv = std::move(hvnew);
   }

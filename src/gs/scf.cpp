@@ -125,11 +125,10 @@ ScfResult ground_state(ham::Hamiltonian& h, ScfOptions opt) {
     real_t efock_prev = 0.0;
     for (int outer = 1; outer <= opt.max_outer_ace; ++outer) {
       ++res.outer_iterations;
-      // Build W = alpha*Vx*Phi from the current state and compress.
+      // Build W = alpha*Vx*Phi (batched exchange path) and compress.
       h.set_exchange_source_diag(res.phi, res.occ);
-      la::MatC w(npw, opt.nbands);
-      h.exchange_op().apply_diag(res.phi, res.occ, res.phi, w, false);
-      h.set_ace(ham::AceOperator::build(res.phi, w));
+      h.set_ace(ham::AceOperator::build_diag(h.exchange_op(), res.phi,
+                                             res.occ));
 
       res.scf_iterations += density_loop(h, opt, res.phi, res.eps, res.occ,
                                          res.rho, res.mu, conv);

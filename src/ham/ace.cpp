@@ -34,6 +34,17 @@ AceOperator AceOperator::build(const la::MatC& phi, const la::MatC& w) {
   return op;
 }
 
+AceOperator AceOperator::build_diag(const ExchangeOperator& xop,
+                                    const la::MatC& phi,
+                                    const std::vector<real_t>& occ,
+                                    la::MatC* w_out) {
+  la::MatC w(phi.rows(), phi.cols());
+  xop.apply_diag(phi, occ, phi, w, false);
+  AceOperator op = build(phi, w);
+  if (w_out) *w_out = std::move(w);
+  return op;
+}
+
 void AceOperator::apply(const la::MatC& tgt, la::MatC& out,
                         bool accumulate) const {
   ScopedTimer t("ace.apply");

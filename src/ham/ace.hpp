@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "ham/exchange.hpp"
 #include "la/matrix.hpp"
 
 namespace ptim::ham {
@@ -22,6 +23,15 @@ class AceOperator {
   // definite (true whenever all occupations are > 0; a tiny ridge guards
   // the semidefinite edge).
   static AceOperator build(const la::MatC& phi, const la::MatC& w);
+
+  // One-stop builder on the exchange hot path: computes W = (alpha Vx) Phi
+  // through xop.apply_diag — i.e. in blocks of ExchangeOptions::batch_size
+  // through the batched FFT engine — then compresses. When w_out is given
+  // it receives W (callers reuse it for the Fock energy estimate).
+  static AceOperator build_diag(const ExchangeOperator& xop,
+                                const la::MatC& phi,
+                                const std::vector<real_t>& occ,
+                                la::MatC* w_out = nullptr);
 
   bool valid() const { return xi_.cols() > 0; }
   size_t rank() const { return xi_.cols(); }

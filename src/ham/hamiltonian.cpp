@@ -112,18 +112,23 @@ void Hamiltonian::apply_semilocal(const la::MatC& phi, la::MatC& hphi) const {
 
   const std::vector<real_t> kin = kinetic_diag();
   const size_t ng = den_grid_->size();
-  std::vector<cplx> work(ng), gathered(npw);
+
+  // Dense-grid pass for the whole orbital block: one batched inverse FFT,
+  // a fused V_tot multiply, one batched forward FFT.
+  la::MatC work;
+  den_map_.to_real_batch(phi, work);
+#pragma omp parallel for schedule(static) collapse(2)
+  for (size_t b = 0; b < nb; ++b)
+    for (size_t r = 0; r < ng; ++r) work.col(b)[r] *= vtot_[r];
+  la::MatC gathered;
+  den_map_.to_sphere_batch_inplace(work, gathered);
+
+#pragma omp parallel for schedule(static)
   for (size_t b = 0; b < nb; ++b) {
     const cplx* in = phi.col(b);
+    const cplx* gb = gathered.col(b);
     cplx* out = hphi.col(b);
-    // Kinetic (diagonal in G).
-    for (size_t i = 0; i < npw; ++i) out[i] = kin[i] * in[i];
-    // Local potential on the dense grid.
-    den_map_.to_real(in, work.data());
-#pragma omp parallel for schedule(static)
-    for (size_t r = 0; r < ng; ++r) work[r] *= vtot_[r];
-    den_map_.to_sphere(work.data(), gathered.data());
-    for (size_t i = 0; i < npw; ++i) out[i] += gathered[i];
+    for (size_t i = 0; i < npw; ++i) out[i] = kin[i] * in[i] + gb[i];
   }
   if (kb_) kb_->apply(phi, hphi);
 }

@@ -35,17 +35,39 @@ void SphereGridMap::to_sphere(const cplx* real_space, cplx* coeffs) const {
 void SphereGridMap::to_real_batch(const la::MatC& coeffs,
                                   la::MatC& real_space) const {
   PTIM_CHECK(coeffs.rows() == map_.size());
-  real_space.resize(grid_->size(), coeffs.cols());
-  for (size_t b = 0; b < coeffs.cols(); ++b)
-    to_real(coeffs.col(b), real_space.col(b));
+  const size_t nb = coeffs.cols();
+  const size_t npw = map_.size();
+  real_space.resize(grid_->size(), nb);  // zero-fills
+  // Scatter with the output scale folded in (the FFT is linear), then one
+  // batched inverse transform for the whole block.
+#pragma omp parallel for schedule(static)
+  for (size_t b = 0; b < nb; ++b) {
+    const cplx* cb = coeffs.col(b);
+    cplx* rb = real_space.col(b);
+    for (size_t i = 0; i < npw; ++i) rb[map_[i]] = cb[i] * scale_to_real_;
+  }
+  grid_->fft().inverse_batch(real_space.data(), nb);
 }
 
 void SphereGridMap::to_sphere_batch(const la::MatC& real_space,
                                     la::MatC& coeffs) const {
+  la::MatC work = real_space;
+  to_sphere_batch_inplace(work, coeffs);
+}
+
+void SphereGridMap::to_sphere_batch_inplace(la::MatC& real_space,
+                                            la::MatC& coeffs) const {
   PTIM_CHECK(real_space.rows() == grid_->size());
-  coeffs.resize(map_.size(), real_space.cols());
-  for (size_t b = 0; b < real_space.cols(); ++b)
-    to_sphere(real_space.col(b), coeffs.col(b));
+  const size_t nb = real_space.cols();
+  const size_t npw = map_.size();
+  grid_->fft().forward_batch(real_space.data(), nb);
+  coeffs.resize(npw, nb);
+#pragma omp parallel for schedule(static)
+  for (size_t b = 0; b < nb; ++b) {
+    const cplx* wb = real_space.col(b);
+    cplx* cb = coeffs.col(b);
+    for (size_t i = 0; i < npw; ++i) cb[i] = wb[map_[i]] * scale_to_sphere_;
+  }
 }
 
 }  // namespace ptim::pw

@@ -33,6 +33,9 @@ class SphereGridMap {
   // Batched versions over the columns of a matrix.
   void to_real_batch(const la::MatC& coeffs, la::MatC& real_space) const;
   void to_sphere_batch(const la::MatC& real_space, la::MatC& coeffs) const;
+  // In-place gather for hot paths: uses real_space as the FFT workspace
+  // (its contents are destroyed) instead of copying the whole block.
+  void to_sphere_batch_inplace(la::MatC& real_space, la::MatC& coeffs) const;
 
  private:
   const grid::GSphere* sphere_;

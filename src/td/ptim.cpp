@@ -159,8 +159,9 @@ real_t PtImPropagator::build_ace_from(const la::MatC& phi, la::MatC sigma) {
   la::MatC rotated(phi.rows(), phi.cols());
   la::gemm_nn(phi, eig.V, rotated);
 
-  la::MatC w(phi.rows(), phi.cols());
-  h_->exchange_op().apply_diag(rotated, eig.w, rotated, w, false);
+  la::MatC w;
+  ham::AceOperator ace =
+      ham::AceOperator::build_diag(h_->exchange_op(), rotated, eig.w, &w);
   if (stats_) ++stats_->exchange_applications;
 
   real_t ex = 0.0;
@@ -168,7 +169,7 @@ real_t PtImPropagator::build_ace_from(const la::MatC& phi, la::MatC sigma) {
     ex += eig.w[b] *
           std::real(la::dotc(phi.rows(), rotated.col(b), w.col(b)));
 
-  h_->set_ace(ham::AceOperator::build(rotated, w));
+  h_->set_ace(std::move(ace));
   return ex;
 }
 

@@ -174,6 +174,81 @@ TEST(Fft3, RoundTripAndParseval) {
     EXPECT_NEAR(std::abs(x[i] - orig[i]), 0.0, 1e-10);
 }
 
+// ------------------------------------------------------- batched FFTs ---
+
+TEST(Fft1Batch, ManyMatchesScalarLines) {
+  for (const size_t n : {size_t(8), size_t(12), size_t(30), size_t(13)}) {
+    const size_t vlen = 5;
+    fft::Plan1D plan(n);
+    // Element-major tile: line l's element k at tile[k*vlen + l].
+    std::vector<cplx> tile(n * vlen), tile_out(n * vlen);
+    std::vector<std::vector<cplx>> lines(vlen);
+    for (size_t l = 0; l < vlen; ++l) {
+      lines[l] = random_signal(n, 500 + static_cast<unsigned>(n * vlen + l));
+      for (size_t k = 0; k < n; ++k) tile[k * vlen + l] = lines[l][k];
+    }
+    plan.forward_many(tile.data(), tile_out.data(), vlen);
+    for (size_t l = 0; l < vlen; ++l) {
+      std::vector<cplx> ref(n);
+      plan.forward(lines[l].data(), ref.data());
+      for (size_t k = 0; k < n; ++k)
+        EXPECT_NEAR(std::abs(tile_out[k * vlen + l] - ref[k]), 0.0, 1e-10)
+            << "n=" << n << " l=" << l << " k=" << k;
+    }
+    // Scaled inverse round-trips the tile.
+    std::vector<cplx> back(n * vlen);
+    plan.inverse_many(tile_out.data(), back.data(), vlen);
+    for (size_t i = 0; i < n * vlen; ++i)
+      EXPECT_NEAR(std::abs(back[i] - tile[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft3Batch, MatchesSingleTransforms) {
+  fft::Fft3 f(6, 5, 4);
+  const size_t ng = f.size();
+  const size_t nbatch = 7;
+  auto batch = random_signal(ng * nbatch, 40);
+  auto singles = batch;
+  f.forward_batch(batch.data(), nbatch);
+  for (size_t b = 0; b < nbatch; ++b) f.forward(singles.data() + b * ng);
+  for (size_t i = 0; i < ng * nbatch; ++i)
+    EXPECT_NEAR(std::abs(batch[i] - singles[i]), 0.0, 1e-9)
+        << "i=" << i;
+  f.inverse_batch(batch.data(), nbatch);
+  for (size_t b = 0; b < nbatch; ++b) f.inverse(singles.data() + b * ng);
+  for (size_t i = 0; i < ng * nbatch; ++i)
+    EXPECT_NEAR(std::abs(batch[i] - singles[i]), 0.0, 1e-10);
+}
+
+TEST(Fft3Batch, RoundTrip) {
+  fft::Fft3 f(8, 6, 5);
+  const size_t ng = f.size();
+  // More arrays than the internal tile width to exercise partial tiles.
+  const size_t nbatch = fft::Plan1D::kMaxTile + 3;
+  const auto orig = random_signal(ng * nbatch, 41);
+  auto x = orig;
+  f.forward_batch(x.data(), nbatch);
+  f.inverse_batch(x.data(), nbatch);
+  for (size_t i = 0; i < ng * nbatch; ++i)
+    EXPECT_NEAR(std::abs(x[i] - orig[i]), 0.0, 1e-10);
+}
+
+TEST(Fft3Batch, SingleArrayBatchEqualsPlainCall) {
+  fft::Fft3 f(6, 6, 3);
+  auto a = random_signal(f.size(), 42);
+  auto b = a;
+  f.forward_batch(a.data(), 1);
+  f.forward(b.data());
+  for (size_t i = 0; i < f.size(); ++i)
+    EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-10);
+}
+
+TEST(Fft3Batch, ZeroBatchIsNoop) {
+  fft::Fft3 f(4, 4, 4);
+  f.forward_batch(nullptr, 0);
+  f.inverse_batch(nullptr, 0);
+}
+
 TEST(Fft3, PlaneWaveIsDelta) {
   const size_t n0 = 6, n1 = 6, n2 = 3;
   fft::Fft3 f(n0, n1, n2);

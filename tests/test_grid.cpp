@@ -40,7 +40,9 @@ TEST(GSphere, InversionSymmetricAndSorted) {
   // All |G|^2/2 <= ecut, ascending.
   for (size_t i = 0; i < s.npw(); ++i) {
     EXPECT_LE(0.5 * s.g2()[i], 4.0 + 1e-12);
-    if (i > 0) EXPECT_GE(s.g2()[i], s.g2()[i - 1] - 1e-12);
+    if (i > 0) {
+      EXPECT_GE(s.g2()[i], s.g2()[i - 1] - 1e-12);
+    }
   }
   // G=0 comes first, -G present for every G.
   EXPECT_EQ(s.freqs()[0][0], 0);

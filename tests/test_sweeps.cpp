@@ -114,8 +114,9 @@ TEST_P(ScreeningSweep, KernelWithinBareCoulombBound) {
   const auto& g2 = sys.wfc_grid->g2();
   for (size_t i = 0; i < g2.size(); i += 23) {
     EXPECT_GE(xop.kernel()[i], 0.0);
-    if (g2[i] > 1e-8)
+    if (g2[i] > 1e-8) {
       EXPECT_LE(xop.kernel()[i], kFourPi / g2[i] * (1.0 + 1e-12));
+    }
   }
   EXPECT_NEAR(xop.kernel()[0], kPi / (mu * mu), 1e-9 / (mu * mu));
 }
