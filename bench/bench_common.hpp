@@ -7,12 +7,15 @@
 #include <memory>
 #include <string>
 
+#include "common/timer.hpp"
+#include "dist/band_ham.hpp"
 #include "gs/scf.hpp"
 #include "ham/density.hpp"
 #include "pseudo/atoms.hpp"
 #include "td/laser.hpp"
 #include "td/observables.hpp"
 #include "td/ptim.hpp"
+#include "td/ptim_dist.hpp"
 #include "td/rk4.hpp"
 
 namespace ptim::bench {
@@ -74,6 +77,39 @@ struct MiniSystem {
     return ham->energy(s.phi, s.sigma, rho).total();
   }
 };
+
+// Run `steps` PT-IM steps of the band-parallel production propagator over
+// `nranks` in-process thread ranks and return the per-rank measured
+// CommStats — the real-solver analogue of the paper's Table I columns.
+// step_seconds (optional) receives rank 0's wall clock over the step loop
+// only, excluding per-rank Hamiltonian construction and state scatter.
+inline std::vector<ptmpi::CommStats> run_distributed_steps(
+    const MiniSystem& sys, td::PtImVariant variant,
+    dist::ExchangePattern pattern, int nranks, int steps,
+    double* step_seconds = nullptr) {
+  const size_t nb = sys.ground.phi.cols();
+  const dist::BlockLayout bands(nb, nranks);
+  const td::TdState init = sys.initial();
+  ptmpi::run_ranks(nranks, 2, [&](ptmpi::Comm& c) {
+    // Per-rank Hamiltonian over the shared read-only grids.
+    ham::Hamiltonian h(*sys.lattice, sys.atoms, *sys.sphere, *sys.wfc_grid,
+                       *sys.den_grid, ham::HamiltonianOptions{});
+    dist::BandHamOptions bopt;
+    bopt.pattern = pattern;
+    dist::BandDistributedHamiltonian bdh(c, h, nb, bopt);
+    td::DistTdState s = td::scatter_state(init, bands, c.rank());
+    td::PtImOptions opt;
+    opt.dt = 1.0;
+    opt.tol = 1e-7;
+    opt.variant = variant;
+    td::DistPtImPropagator prop(bdh, opt, nullptr);
+    c.barrier();  // setup done on every rank before the clock starts
+    Timer t;
+    for (int i = 0; i < steps; ++i) prop.step(s);
+    if (c.rank() == 0 && step_seconds) *step_seconds = t.seconds();
+  });
+  return ptmpi::last_run_stats();
+}
 
 inline void rule(char c = '-') {
   for (int i = 0; i < 78; ++i) std::putchar(c);

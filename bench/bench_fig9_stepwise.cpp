@@ -75,6 +75,24 @@ int main() {
     }
   }
 
+  // Band-parallel production path: a full distributed PT-IM-ACE step per
+  // circulation pattern, wall-clock next to the measured per-rank comm time
+  // (the step-level analogue of the Ring -> Async rows of Fig. 9).
+  std::printf("\n[measured] distributed PT-IM-ACE step, 4 thread ranks\n");
+  std::printf("%-10s %12s %14s %16s\n", "pattern", "seconds", "comm s (r0)",
+              "bytes moved/rank");
+  for (const auto pat :
+       {dist::ExchangePattern::kBcast, dist::ExchangePattern::kRing,
+        dist::ExchangePattern::kAsyncRing}) {
+    double step_seconds = 0.0;
+    const auto stats = bench::run_distributed_steps(
+        sys, td::PtImVariant::kAce, pat, 4, /*steps=*/1, &step_seconds);
+    long long bytes = 0;
+    for (const auto& [op, st] : stats[0].ops) bytes += st.bytes;
+    std::printf("%-10s %12.3f %14.4f %16lld\n", dist::pattern_name(pat),
+                step_seconds, stats[0].total_seconds(), bytes);
+  }
+
   // ----------------------------------------------------- modeled part ----
   struct PaperRow {
     const char* name;

@@ -2,9 +2,12 @@
 // 1536-atom system, ACE (bcast) vs Ring vs Async variants, on both
 // platforms (960 ARM nodes / 96 GPU nodes), printed next to the published
 // values. A second, measured section verifies the *pattern* byte counts on
-// in-process thread ranks (Bcast traffic disappears under the ring).
+// in-process thread ranks (Bcast traffic disappears under the ring), first
+// on the standalone exchange kernel and then on the real band-parallel
+// PT-IM propagator (per-op CommStats per 4-rank step).
 
 #include <cstdio>
+#include <functional>
 
 #include "bench_common.hpp"
 #include "dist/exchange_dist.hpp"
@@ -79,6 +82,45 @@ int main() {
       std::printf(" %12lld", it == st.ops.end() ? 0LL : it->second.bytes);
     }
     std::printf("\n");
+  }
+
+  // Measured Table I analogue from the REAL propagator: one full PT-IM-ACE
+  // step through td::DistPtImPropagator on 4 thread ranks, per-op stats of
+  // rank 0 (calls / bytes / seconds) for each circulation pattern.
+  static const char* kOps[] = {"Alltoallv", "Sendrecv", "Wait",
+                               "Allgatherv", "Allreduce", "Bcast"};
+  std::printf("\n[measured] per-op CommStats of one distributed PT-IM-ACE "
+              "step (4 thread ranks, rank 0)\n");
+  std::printf("%-10s %-6s", "pattern", "");
+  for (const char* op : kOps) std::printf(" %12s", op);
+  std::printf("\n");
+  for (const auto pat :
+       {dist::ExchangePattern::kBcast, dist::ExchangePattern::kRing,
+        dist::ExchangePattern::kAsyncRing}) {
+    const auto stats = bench::run_distributed_steps(
+        sys, td::PtImVariant::kAce, pat, 4, /*steps=*/1);
+    const auto& st = stats[0];
+    bool first = true;
+    auto row = [&](const char* what,
+                   const std::function<void(const ptmpi::OpStats&)>& get) {
+      std::printf("%-10s %-6s", first ? dist::pattern_name(pat) : "", what);
+      first = false;
+      for (const char* op : kOps) {
+        const auto it = st.ops.find(op);
+        if (it == st.ops.end())
+          std::printf(" %12s", "-");
+        else
+          get(it->second);
+      }
+      std::printf("\n");
+    };
+    row("calls",
+        [](const ptmpi::OpStats& o) { std::printf(" %12ld", o.calls); });
+    row("bytes",
+        [](const ptmpi::OpStats& o) { std::printf(" %12lld", o.bytes); });
+    row("ms", [](const ptmpi::OpStats& o) {
+      std::printf(" %12.3f", o.seconds * 1e3);
+    });
   }
   return 0;
 }

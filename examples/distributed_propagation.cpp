@@ -1,0 +1,84 @@
+// Band-parallel PT-IM propagation through the public API — the paper's
+// production configuration in miniature:
+//
+//   1. build an 8-atom silicon cell and its finite-temperature hybrid
+//      ground state,
+//   2. propagate the same PT-IM-ACE trajectory serially and band-parallel
+//      over 4 in-process ptmpi ranks (2 ranks per "node"), once per
+//      exchange circulation pattern,
+//   3. verify the trajectories coincide and print the measured per-op
+//      communication table — the small-scale analogue of Table I.
+//
+// Runtime: a couple of minutes on a laptop core (reduced cutoff).
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/simulation.hpp"
+#include "td/observables.hpp"
+
+using namespace ptim;
+
+int main() {
+  core::SystemSpec spec;
+  spec.nx = spec.ny = spec.nz = 1;   // 8 Si atoms
+  spec.ecut = 2.0;                    // Hartree (paper: 10; demo: reduced)
+  spec.temperature_k = 8000.0;        // the paper's finite-T setting
+  spec.scf.tol_rho = 1e-6;
+  spec.scf.max_outer_ace = 4;
+
+  core::Simulation sim(spec);
+  std::printf("silicon cell: %zu atoms, %zu orbitals, %zu plane waves\n",
+              sim.natoms(), sim.nbands(), sim.sphere().npw());
+  sim.prepare_ground_state();
+
+  td::PtImOptions opt;
+  opt.dt = 2.0;  // ~48 attoseconds
+  opt.variant = td::PtImVariant::kAce;
+  const int steps = 3;
+
+  // Serial reference.
+  auto prop = sim.make_ptim(opt);
+  auto state = sim.initial_state();
+  std::vector<real_t> dip_serial;
+  for (int i = 0; i < steps; ++i) {
+    prop->step(state);
+    dip_serial.push_back(sim.dipole_x(state));
+  }
+  std::printf("serial:      dipole_x per step:");
+  for (const real_t d : dip_serial) std::printf(" %12.6e", d);
+  std::printf("\n\n");
+
+  // Band-parallel runs: 4 ranks (2 per node), one per circulation pattern.
+  for (const auto pattern :
+       {dist::ExchangePattern::kBcast, dist::ExchangePattern::kRing,
+        dist::ExchangePattern::kAsyncRing}) {
+    core::Simulation::DistRunOptions dopt;
+    dopt.nranks = 4;
+    dopt.ranks_per_node = 2;
+    dopt.steps = steps;
+    dopt.ptim = opt;
+    dopt.band.pattern = pattern;
+    dopt.band.overlap_shm = true;  // Fig. 6 node-shared overlap staging
+    const auto res = sim.propagate_distributed(dopt);
+
+    real_t max_diff = 0.0;
+    for (int i = 0; i < steps; ++i)
+      max_diff = std::max(max_diff,
+                          std::abs(res.dipole[static_cast<size_t>(i)] -
+                                   dip_serial[static_cast<size_t>(i)]));
+    std::printf("%-10s: max |dipole - serial| = %.2e  (sigma trace %.8f)\n",
+                dist::pattern_name(pattern), max_diff,
+                td::sigma_trace(res.final_state.sigma));
+
+    std::printf("  rank-0 comm:");
+    for (const auto& [op, st] : res.comm[0].ops)
+      std::printf("  %s %lldB/%.1fms", op.c_str(), st.bytes,
+                  st.seconds * 1e3);
+    std::printf("\n");
+  }
+  std::printf("\nAll three patterns reproduce the serial trajectory; the "
+              "ring variants move the\nexchange bytes out of Bcast into "
+              "Sendrecv (sync) or Isend/Irecv+Wait (async).\n");
+  return 0;
+}

@@ -13,13 +13,16 @@
 #include <memory>
 #include <vector>
 
+#include "dist/band_ham.hpp"
 #include "grid/fft_grid.hpp"
 #include "grid/gsphere.hpp"
 #include "gs/scf.hpp"
 #include "ham/hamiltonian.hpp"
 #include "pseudo/atoms.hpp"
+#include "ptmpi/comm.hpp"
 #include "td/laser.hpp"
 #include "td/ptim.hpp"
+#include "td/ptim_dist.hpp"
 #include "td/rk4.hpp"
 #include "td/state.hpp"
 
@@ -56,6 +59,31 @@ class Simulation {
   // --- propagators ------------------------------------------------------
   std::unique_ptr<td::PtImPropagator> make_ptim(td::PtImOptions opt);
   std::unique_ptr<td::Rk4Propagator> make_rk4(td::Rk4Options opt);
+
+  // --- band-parallel propagation ----------------------------------------
+  // Fresh Hamiltonian over this simulation's (shared, read-only) grids and
+  // atoms: each ptmpi rank of a distributed run needs its own instance
+  // because the Hamiltonian carries mutable density/exchange state.
+  std::unique_ptr<ham::Hamiltonian> make_rank_hamiltonian() const;
+
+  struct DistRunOptions {
+    int nranks = 2;
+    int ranks_per_node = 1;
+    int steps = 10;
+    td::PtImOptions ptim;
+    dist::BandHamOptions band;  // circulation pattern + SHM overlap staging
+  };
+  struct DistRunResult {
+    td::TdState final_state;                // gathered full state
+    std::vector<real_t> dipole;             // dipole_x after each step
+    std::vector<td::PtImStepStats> steps;   // per-step solver statistics
+    std::vector<ptmpi::CommStats> comm;     // per-rank measured comm table
+  };
+  // Launch an nranks-wide ptmpi world, band-distribute the initial state,
+  // run `steps` PT-IM steps through dist::BandDistributedHamiltonian +
+  // td::DistPtImPropagator, and gather the trajectory. Produces the same
+  // trajectory as the serial make_ptim path (regression-tested to 1e-10).
+  DistRunResult propagate_distributed(const DistRunOptions& opt);
 
   // --- observables ------------------------------------------------------
   std::vector<real_t> density(const td::TdState& s) const;

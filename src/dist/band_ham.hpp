@@ -1,0 +1,114 @@
+#pragma once
+// Band-parallel view of the Kohn-Sham Hamiltonian: the layer that turns the
+// standalone dist/ kernels into the production PT-IM path (paper Secs.
+// IV-B/IV-C). Every ptmpi rank owns a BlockLayout band slice of {Phi,
+// sigma-contracted quantities}; nb x nb matrices (sigma, overlaps, M =
+// Phi^H H Phi) stay replicated but are only ever produced from Allreduced
+// data, so they are bit-identical on every rank.
+//
+// Communication map (the measured analogue of Table I):
+//  * exact exchange          — Bcast / Ring / Async-Ring slab circulation
+//                              with the batched-FFT pair kernel inside each
+//                              round (dist/exchange_dist),
+//  * wavefunction rotations  — the same circulation over coefficient slabs
+//                              (dist/rotate),
+//  * overlaps S, M           — band->grid Alltoallv transpose + partial
+//                              gemm + Allreduce, optionally staged through
+//                              the node-shared window (dist/transpose),
+//  * density                 — local band accumulation + grid Allreduce,
+//  * occupations / gathers   — Allgatherv.
+//
+// Each rank must bring its OWN ham::Hamiltonian instance (the Hamiltonian
+// carries mutable density/exchange state); all instances see identical
+// densities because rho is Allreduced before set_density.
+
+#include <vector>
+
+#include "dist/layout.hpp"
+#include "dist/pattern.hpp"
+#include "ham/hamiltonian.hpp"
+#include "ptmpi/comm.hpp"
+
+namespace ptim::dist {
+
+struct BandHamOptions {
+  ExchangePattern pattern = ExchangePattern::kAsyncRing;
+  // Stage overlap reductions through the MPI-3-style node-shared window
+  // before the Allreduce (paper Fig. 6).
+  bool overlap_shm = false;
+};
+
+// Mirrors ham::ExchangeMode for the band-distributed state.
+enum class BandExchangeMode { kNone, kMixedNaive, kMixedDiag, kAce };
+
+class BandDistributedHamiltonian {
+ public:
+  BandDistributedHamiltonian(ptmpi::Comm& c, ham::Hamiltonian& h,
+                             size_t nbands, BandHamOptions opt = {});
+
+  ptmpi::Comm& comm() { return *c_; }
+  ham::Hamiltonian& local() { return *h_; }
+  const BlockLayout& bands() const { return bands_; }
+  const BlockLayout& rows() const { return rows_; }
+  const BandHamOptions& options() const { return opt_; }
+
+  // --- band-block collectives -----------------------------------------
+  // Full nb x nb overlap A^H B from band blocks, replicated on every rank.
+  // A == B transposes the argument only once.
+  la::MatC overlap(const la::MatC& a_local, const la::MatC& b_local);
+  // S = A^H A and M = A^H B from a single transpose of each argument — the
+  // fixed-point loop's pair, where A (the midpoint wavefunction) is the
+  // largest payload in the step.
+  void overlap_pair(const la::MatC& a_local, const la::MatC& b_local,
+                    la::MatC* aa, la::MatC* ab);
+  // (A * R)[:, my bands] for replicated nb x nb R.
+  la::MatC rotate(const la::MatC& a_local, const la::MatC& r);
+  // A <- A L^{-H} (replicated lower-triangular L), serial-identical rows.
+  la::MatC solve_upper_right(const la::MatC& l, const la::MatC& a_local);
+
+  // --- density ---------------------------------------------------------
+  // rho = 2 Re sum_b theta_b(r) conj(phi_b(r)) with theta = Phi sigma;
+  // local bands accumulated, then Allreduced (identical on every rank).
+  // theta_out (optional) receives the circulated theta block so callers can
+  // reuse it (the baseline exchange needs the same contraction).
+  std::vector<real_t> density(const la::MatC& phi_local, const la::MatC& sigma,
+                              la::MatC* theta_out = nullptr);
+  void set_density(const std::vector<real_t>& rho) { h_->set_density(rho); }
+
+  // --- exchange configuration (the P in Vx[P]) -------------------------
+  void set_exchange_none() { xmode_ = BandExchangeMode::kNone; }
+  // Alg. 2 baseline: keep the full sigma, carry it as theta = Phi sigma.
+  // Pass a precomputed theta block (e.g. from density()) to skip the ring
+  // circulation; when absent it is formed here.
+  void set_exchange_source_mixed_naive(const la::MatC& phi_local,
+                                       const la::MatC& sigma,
+                                       la::MatC theta_local = {});
+  // Diag optimization: sigma = Q D Q^H once, circulate rotated orbitals.
+  void set_exchange_source_mixed_diag(const la::MatC& phi_local,
+                                      la::MatC sigma);
+  // ACE build from (phi, sigma): distributed exchange application on the
+  // rotated orbitals, Cholesky compression, xi = W L^{-H}. Returns the
+  // exchange-energy estimate (replicated). Switches the mode to kAce.
+  real_t build_ace(const la::MatC& phi_local, la::MatC sigma);
+  BandExchangeMode exchange_mode() const { return xmode_; }
+
+  // --- application ------------------------------------------------------
+  // hphi_local = H * phi_local (semilocal on the local block + the
+  // configured distributed exchange term). Collective call.
+  void apply(const la::MatC& phi_local, la::MatC& hphi_local);
+
+ private:
+  ptmpi::Comm* c_;
+  ham::Hamiltonian* h_;
+  BlockLayout bands_;
+  BlockLayout rows_;
+  BandHamOptions opt_;
+
+  BandExchangeMode xmode_ = BandExchangeMode::kNone;
+  la::MatC xsrc_local_;    // rotated orbitals (diag) or raw Phi (naive)
+  la::MatC xtheta_local_;  // Phi*sigma block (naive mode)
+  std::vector<real_t> xocc_local_;  // eigen-occupation slice (diag mode)
+  la::MatC xi_local_;      // ACE projector block
+};
+
+}  // namespace ptim::dist

@@ -1,0 +1,87 @@
+#pragma once
+// Shared slab-circulation engine behind the band-parallel collectives
+// (exchange and rotation). `mine` holds this rank's payload —
+// src_bands.count(me) bands of `stride` complex elements each — and
+// apply(slab, origin) accumulates the contribution of the block that
+// originated on rank `origin`. The three patterns match Table I: one
+// broadcast per round, a synchronous Sendrecv ring, or an Isend/Irecv ring
+// whose transfer overlaps the apply.
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dist/layout.hpp"
+#include "dist/pattern.hpp"
+#include "ptmpi/comm.hpp"
+
+namespace ptim::dist {
+
+template <typename Apply>
+void circulate_slabs(ptmpi::Comm& c, const BlockLayout& src_bands,
+                     size_t stride, const std::vector<cplx>& mine,
+                     ExchangePattern pat, const Apply& apply) {
+  const int p = c.size();
+  const int me = c.rank();
+
+  size_t maxw = 0;
+  for (int r = 0; r < p; ++r) maxw = std::max(maxw, src_bands.count(r));
+  const size_t slab_elems = maxw * stride;
+  const size_t slab_bytes = slab_elems * sizeof(cplx);
+
+  if (p == 1) {
+    apply(mine.data(), 0);
+    return;
+  }
+
+  switch (pat) {
+    case ExchangePattern::kBcast: {
+      std::vector<cplx> buf(slab_elems);
+      for (int root = 0; root < p; ++root) {
+        if (root == me) std::copy(mine.begin(), mine.end(), buf.begin());
+        c.bcast(buf.data(), slab_bytes, root);
+        apply(buf.data(), root);
+      }
+      break;
+    }
+    case ExchangePattern::kRing: {
+      std::vector<cplx> cur(slab_elems, cplx(0.0)), nxt(slab_elems);
+      std::copy(mine.begin(), mine.end(), cur.begin());
+      const int next = (me + 1) % p;
+      const int prev = (me - 1 + p) % p;
+      for (int s = 0; s < p; ++s) {
+        apply(cur.data(), (me - s % p + p) % p);
+        if (s + 1 < p) {
+          c.sendrecv(next, cur.data(), slab_bytes, prev, nxt.data(),
+                     slab_bytes, /*tag=*/s);
+          std::swap(cur, nxt);
+        }
+      }
+      break;
+    }
+    case ExchangePattern::kAsyncRing: {
+      std::vector<cplx> cur(slab_elems, cplx(0.0)), nxt(slab_elems);
+      std::copy(mine.begin(), mine.end(), cur.begin());
+      const int next = (me + 1) % p;
+      const int prev = (me - 1 + p) % p;
+      for (int s = 0; s < p; ++s) {
+        ptmpi::Request rr, rs;
+        const bool more = s + 1 < p;
+        if (more) {
+          rr = c.irecv(prev, nxt.data(), slab_bytes, /*tag=*/s);
+          rs = c.isend(next, cur.data(), slab_bytes, /*tag=*/s);
+        }
+        // Compute overlaps the in-flight transfer.
+        apply(cur.data(), (me - s % p + p) % p);
+        if (more) {
+          c.wait(rs);
+          c.wait(rr);
+          std::swap(cur, nxt);
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace ptim::dist

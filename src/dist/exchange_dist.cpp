@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "dist/circulate.hpp"
+#include "dist/rotate.hpp"
+
 namespace ptim::dist {
 
 const char* pattern_name(ExchangePattern p) {
@@ -13,6 +16,90 @@ const char* pattern_name(ExchangePattern p) {
   return "?";
 }
 
+la::MatC exchange_apply_distributed_local(ptmpi::Comm& c,
+                                          const ham::ExchangeOperator& xop,
+                                          const la::MatC& src_local,
+                                          const std::vector<real_t>& d_local,
+                                          const la::MatC& tgt_local,
+                                          const BlockLayout& src_bands,
+                                          ExchangePattern pat) {
+  const int p = c.size();
+  const int me = c.rank();
+  PTIM_CHECK(src_bands.parts() == p);
+  PTIM_CHECK(d_local.size() == src_local.cols());
+  PTIM_CHECK(src_local.cols() == src_bands.count(me));
+  const auto& map = xop.map();
+  const size_t ng = map.grid().size();
+  const size_t npw = tgt_local.rows();
+
+  // Occupation slices are tiny; share them once so any origin's slab can be
+  // weighted locally.
+  std::vector<size_t> counts(static_cast<size_t>(p));
+  for (int r = 0; r < p; ++r)
+    counts[static_cast<size_t>(r)] = src_bands.count(r);
+  std::vector<real_t> d(src_bands.total());
+  c.allgatherv(d_local.data(), d_local.size(), d.data(), counts);
+
+  la::MatC mine_m;
+  map.to_real_batch(src_local, mine_m);
+  std::vector<cplx> mine(mine_m.data(), mine_m.data() + mine_m.size());
+
+  la::MatC out(npw, tgt_local.cols(), cplx(0.0));
+  auto apply_block = [&](const cplx* slab, int origin) {
+    const size_t w = src_bands.count(origin);
+    if (w == 0 || tgt_local.cols() == 0) return;
+    xop.apply_diag_realspace(slab, w, d.data() + src_bands.offset(origin),
+                             tgt_local, out, /*accumulate=*/true);
+  };
+  circulate_slabs(c, src_bands, ng, mine, pat, apply_block);
+  return out;
+}
+
+la::MatC exchange_apply_distributed_mixed_local(
+    ptmpi::Comm& c, const ham::ExchangeOperator& xop, const la::MatC& src_local,
+    const la::MatC& theta_local, const la::MatC& tgt_local,
+    const BlockLayout& src_bands, ExchangePattern pat) {
+  const int me = c.rank();
+  PTIM_CHECK(src_bands.parts() == c.size());
+  PTIM_CHECK(src_local.cols() == src_bands.count(me));
+  PTIM_CHECK(theta_local.cols() == src_local.cols());
+  const auto& map = xop.map();
+  const size_t ng = map.grid().size();
+  const size_t npw = tgt_local.rows();
+  const size_t w_me = src_local.cols();
+
+  // Payload per band: [phi_k | theta_k] real-space pair, so one circulation
+  // moves both the bra orbital and its sigma-contracted weight.
+  la::MatC phi_r, theta_r;
+  map.to_real_batch(src_local, phi_r);
+  map.to_real_batch(theta_local, theta_r);
+  std::vector<cplx> mine(2 * w_me * ng);
+  for (size_t b = 0; b < w_me; ++b) {
+    std::copy(phi_r.col(b), phi_r.col(b) + ng, mine.begin() + 2 * b * ng);
+    std::copy(theta_r.col(b), theta_r.col(b) + ng,
+              mine.begin() + (2 * b + 1) * ng);
+  }
+
+  la::MatC out(npw, tgt_local.cols(), cplx(0.0));
+  std::vector<cplx> phis, thetas;
+  auto apply_block = [&](const cplx* slab, int origin) {
+    const size_t w = src_bands.count(origin);
+    if (w == 0 || tgt_local.cols() == 0) return;
+    phis.resize(w * ng);
+    thetas.resize(w * ng);
+    for (size_t b = 0; b < w; ++b) {
+      std::copy(slab + 2 * b * ng, slab + (2 * b + 1) * ng,
+                phis.begin() + b * ng);
+      std::copy(slab + (2 * b + 1) * ng, slab + (2 * b + 2) * ng,
+                thetas.begin() + b * ng);
+    }
+    xop.apply_weighted_realspace(phis.data(), thetas.data(), w, tgt_local, out,
+                                 /*accumulate=*/true);
+  };
+  circulate_slabs(c, src_bands, 2 * ng, mine, pat, apply_block);
+  return out;
+}
+
 la::MatC exchange_apply_distributed(ptmpi::Comm& c,
                                     const ham::ExchangeOperator& xop,
                                     const la::MatC& src,
@@ -22,87 +109,13 @@ la::MatC exchange_apply_distributed(ptmpi::Comm& c,
   const int me = c.rank();
   PTIM_CHECK(d.size() == src.cols());
   const BlockLayout sb(src.cols(), p), tb(tgt.cols(), p);
-  const auto& map = xop.map();
-  const size_t ng = map.grid().size();
-  const size_t npw = tgt.rows();
-
-  // Local target block (sphere coefficients) and my source slab in real
-  // space — the payload that will circulate.
-  la::MatC tgt_local(npw, tb.count(me));
-  for (size_t b = 0; b < tb.count(me); ++b)
-    std::copy(tgt.col(tb.offset(me) + b), tgt.col(tb.offset(me) + b) + npw,
-              tgt_local.col(b));
-  la::MatC src_local(npw, sb.count(me));
-  for (size_t b = 0; b < sb.count(me); ++b)
-    std::copy(src.col(sb.offset(me) + b), src.col(sb.offset(me) + b) + npw,
-              src_local.col(b));
-  la::MatC mine;
-  map.to_real_batch(src_local, mine);
-
-  la::MatC out(npw, tb.count(me), cplx(0.0));
-
-  size_t maxw = 0;
-  for (int r = 0; r < p; ++r) maxw = std::max(maxw, sb.count(r));
-  const size_t slab_bytes = maxw * ng * sizeof(cplx);
-
-  // Accumulate the contribution of the slab that originated on `origin`.
-  auto apply_block = [&](const cplx* slab, int origin) {
-    const size_t w = sb.count(origin);
-    if (w == 0 || tb.count(me) == 0) return;
-    xop.apply_diag_realspace(slab, w, d.data() + sb.offset(origin), tgt_local,
-                             out, /*accumulate=*/true);
-  };
-
-  switch (pat) {
-    case ExchangePattern::kBcast: {
-      std::vector<cplx> buf(maxw * ng);
-      for (int root = 0; root < p; ++root) {
-        if (root == me)
-          std::copy(mine.data(), mine.data() + mine.size(), buf.begin());
-        c.bcast(buf.data(), slab_bytes, root);
-        apply_block(buf.data(), root);
-      }
-      break;
-    }
-    case ExchangePattern::kRing: {
-      std::vector<cplx> cur(maxw * ng, cplx(0.0)), nxt(maxw * ng);
-      std::copy(mine.data(), mine.data() + mine.size(), cur.begin());
-      const int next = (me + 1) % p;
-      const int prev = (me - 1 + p) % p;
-      for (int s = 0; s < p; ++s) {
-        apply_block(cur.data(), (me - s % p + p) % p);
-        if (s + 1 < p) {
-          c.sendrecv(next, cur.data(), slab_bytes, prev, nxt.data(),
-                     slab_bytes, /*tag=*/s);
-          std::swap(cur, nxt);
-        }
-      }
-      break;
-    }
-    case ExchangePattern::kAsyncRing: {
-      std::vector<cplx> cur(maxw * ng, cplx(0.0)), nxt(maxw * ng);
-      std::copy(mine.data(), mine.data() + mine.size(), cur.begin());
-      const int next = (me + 1) % p;
-      const int prev = (me - 1 + p) % p;
-      for (int s = 0; s < p; ++s) {
-        ptmpi::Request rr, rs;
-        const bool more = s + 1 < p;
-        if (more) {
-          rr = c.irecv(prev, nxt.data(), slab_bytes, /*tag=*/s);
-          rs = c.isend(next, cur.data(), slab_bytes, /*tag=*/s);
-        }
-        // Compute overlaps the in-flight transfer.
-        apply_block(cur.data(), (me - s % p + p) % p);
-        if (more) {
-          c.wait(rs);
-          c.wait(rr);
-          std::swap(cur, nxt);
-        }
-      }
-      break;
-    }
-  }
-  return out;
+  const la::MatC src_local = scatter_bands(src, sb, me);
+  const la::MatC tgt_local = scatter_bands(tgt, tb, me);
+  std::vector<real_t> d_local(d.begin() + static_cast<long>(sb.offset(me)),
+                              d.begin() + static_cast<long>(sb.offset(me) +
+                                                            sb.count(me)));
+  return exchange_apply_distributed_local(c, xop, src_local, d_local,
+                                          tgt_local, sb, pat);
 }
 
 }  // namespace ptim::dist

@@ -2,30 +2,52 @@
 // Distributed exact-exchange application (paper Fig. 5): every rank owns a
 // band block of targets and a band block of sources; real-space source
 // slabs circulate so each rank accumulates every source's contribution
-// onto its local targets. Three circulation patterns, matching Table I:
-//  * kBcast     — each round one rank broadcasts its slab (the ACE-era
-//                 baseline; Bcast dominates the comm budget),
-//  * kRing      — slabs hop neighbor-to-neighbor with Sendrecv,
-//  * kAsyncRing — ring with Isend/Irecv posted before the compute so the
-//                 transfer overlaps the pair-FFT work.
-// All three produce results identical to the serial operator.
+// onto its local targets. Three circulation patterns, matching Table I
+// (see dist/pattern.hpp). All produce results identical to the serial
+// operator.
+//
+// The rank-local entry points are the production API: each rank passes only
+// the band blocks it owns (the layout of the PT-IM propagator state). The
+// legacy full-replication signature is kept as a thin wrapper that slices
+// the global matrices before delegating.
 
 #include <vector>
 
 #include "dist/layout.hpp"
+#include "dist/pattern.hpp"
 #include "ham/exchange.hpp"
 #include "ptmpi/comm.hpp"
 
 namespace ptim::dist {
 
-enum class ExchangePattern { kBcast, kRing, kAsyncRing };
+// Diagonal-occupation exchange on rank-local blocks: this rank holds
+// src_local = src[:, src_bands-of-rank] with occupations d_local (same
+// slice) and an arbitrary-width local target block. Occupation slices are
+// shared once with Allgatherv; real-space source slabs then circulate in
+// the requested pattern. Returns alpha*Vx[src,d]*tgt_local
+// (npw x tgt_local.cols()).
+la::MatC exchange_apply_distributed_local(ptmpi::Comm& c,
+                                          const ham::ExchangeOperator& xop,
+                                          const la::MatC& src_local,
+                                          const std::vector<real_t>& d_local,
+                                          const la::MatC& tgt_local,
+                                          const BlockLayout& src_bands,
+                                          ExchangePattern p);
 
-const char* pattern_name(ExchangePattern p);
+// Mixed-state (full sigma) exchange on rank-local blocks. The sigma
+// contraction is carried by theta_local = (Phi * sigma)[:, local bands]:
+// pairs of (phi_k, theta_k) real-space slabs circulate and each round
+// accumulates -alpha sum_k theta_k(r) V[conj(phi_k) tgt_j](r) — equal to
+// the serial apply_mixed_naive without replicating Phi or sigma.
+la::MatC exchange_apply_distributed_mixed_local(
+    ptmpi::Comm& c, const ham::ExchangeOperator& xop, const la::MatC& src_local,
+    const la::MatC& theta_local, const la::MatC& tgt_local,
+    const BlockLayout& src_bands, ExchangePattern p);
 
-// Every rank passes the FULL src/tgt matrices (npw x nsrc / npw x ntgt) and
-// occupations d; the function internally splits both over c.size() ranks
-// with BlockLayout and returns this rank's npw x BlockLayout(ntgt).count(me)
-// block of alpha*Vx[src,d]*tgt.
+// Legacy wrapper: every rank passes the FULL src/tgt matrices
+// (npw x nsrc / npw x ntgt) and occupations d; the function slices both
+// over c.size() ranks with BlockLayout and returns this rank's
+// npw x BlockLayout(ntgt).count(me) block of alpha*Vx[src,d]*tgt.
 la::MatC exchange_apply_distributed(ptmpi::Comm& c,
                                     const ham::ExchangeOperator& xop,
                                     const la::MatC& src,

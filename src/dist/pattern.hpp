@@ -1,0 +1,16 @@
+#pragma once
+// Circulation patterns for band-distributed collectives (paper Table I):
+//  * kBcast     — each round one rank broadcasts its slab (the ACE-era
+//                 baseline; Bcast dominates the comm budget),
+//  * kRing      — slabs hop neighbor-to-neighbor with Sendrecv,
+//  * kAsyncRing — ring with Isend/Irecv posted before the compute so the
+//                 transfer overlaps the local work.
+// Shared by the exact-exchange circulation and the wavefunction rotation.
+
+namespace ptim::dist {
+
+enum class ExchangePattern { kBcast, kRing, kAsyncRing };
+
+const char* pattern_name(ExchangePattern p);
+
+}  // namespace ptim::dist

@@ -148,6 +148,50 @@ void ExchangeOperator::pair_accumulate_batched(
   }
 }
 
+void ExchangeOperator::apply_weighted_realspace(const cplx* src_real,
+                                                const cplx* weight_real,
+                                                size_t nsrc,
+                                                const la::MatC& tgt,
+                                                la::MatC& out,
+                                                bool accumulate) const {
+  if (!accumulate) out.fill(cplx(0.0));
+  PTIM_CHECK(out.rows() == tgt.rows() && out.cols() == tgt.cols());
+  if (nsrc == 0) return;
+
+  const size_t ng = map_->grid().size();
+  const size_t ntgt = tgt.cols();
+  const size_t bs = std::max<size_t>(1, opt_.batch_size);
+
+  std::vector<cplx> tgt_real(ng), acc(ng), gathered(tgt.rows());
+  std::vector<cplx> block(bs * ng);
+  for (size_t j = 0; j < ntgt; ++j) {
+    map_->to_real(tgt.col(j), tgt_real.data());
+    std::fill(acc.begin(), acc.end(), cplx(0.0));
+    for (size_t i0 = 0; i0 < nsrc; i0 += bs) {
+      const size_t nb = std::min(bs, nsrc - i0);
+#pragma omp parallel for schedule(static) collapse(2)
+      for (size_t i = 0; i < nb; ++i)
+        for (size_t r = 0; r < ng; ++r)
+          block[i * ng + r] =
+              std::conj(src_real[(i0 + i) * ng + r]) * tgt_real[r];
+      kernel_filter_block(block.data(), nb);
+#pragma omp parallel for schedule(static)
+      for (size_t r = 0; r < ng; ++r) {
+        cplx a = acc[r];
+        for (size_t i = 0; i < nb; ++i)
+          // Undo the inverse-FFT 1/Ng scaling (unscaled synthesis wanted).
+          a += static_cast<real_t>(ng) * weight_real[(i0 + i) * ng + r] *
+               block[i * ng + r];
+        acc[r] = a;
+      }
+    }
+    map_->to_sphere(acc.data(), gathered.data());
+    cplx* oj = out.col(j);
+    const real_t a = -opt_.alpha;
+    for (size_t p = 0; p < tgt.rows(); ++p) oj[p] += a * gathered[p];
+  }
+}
+
 void ExchangeOperator::apply_diag(const la::MatC& src,
                                   const std::vector<real_t>& d,
                                   const la::MatC& tgt, la::MatC& out,

@@ -81,6 +81,17 @@ class ExchangeOperator {
     pair_accumulate(src_real, nsrc, d, tgt, out, accumulate);
   }
 
+  // Generalized pair accumulation for the distributed mixed-state (full
+  // sigma) path: the scalar occupation d_k is replaced by a real-space
+  // weight field w_k = Theta_k = sum_i sigma_ik phi_i, so
+  //   out_j (+)= -alpha sum_k w_k(r) IFFT[K FFT[conj(src_k) psi_j]](r).
+  // With w_k = d_k src_k this reduces to apply_diag_realspace; with
+  // Theta = Phi*sigma it equals apply_mixed_naive without requiring every
+  // rank to hold the full source block.
+  void apply_weighted_realspace(const cplx* src_real, const cplx* weight_real,
+                                size_t nsrc, const la::MatC& tgt, la::MatC& out,
+                                bool accumulate) const;
+
   // Real-space transform helper for the distributed paths.
   const pw::SphereGridMap& map() const { return *map_; }
 

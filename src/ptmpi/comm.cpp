@@ -56,8 +56,9 @@ class World {
     Mailbox& mb = *mailboxes_[static_cast<size_t>(dest)];
     Message msg;
     msg.tag = tag;
-    msg.payload.assign(static_cast<const unsigned char*>(data),
-                       static_cast<const unsigned char*>(data) + bytes);
+    if (bytes > 0)  // zero-byte messages are legal (empty band blocks)
+      msg.payload.assign(static_cast<const unsigned char*>(data),
+                         static_cast<const unsigned char*>(data) + bytes);
     {
       std::lock_guard<std::mutex> lock(mb.mu);
       mb.queues[src].push_back(std::move(msg));
@@ -74,7 +75,7 @@ class World {
         if (it->tag == tag) {
           PTIM_CHECK_MSG(it->payload.size() == bytes,
                          "ptmpi: message size mismatch (tag " << tag << ")");
-          std::memcpy(data, it->payload.data(), bytes);
+          if (bytes > 0) std::memcpy(data, it->payload.data(), bytes);
           q.erase(it);
           return;
         }
@@ -100,8 +101,6 @@ class World {
 
   CommStats& stats(int rank) { return stats_[static_cast<size_t>(rank)]; }
   std::vector<CommStats> take_stats() { return stats_; }
-
-  std::mutex reduce_mu;
 
  private:
   int nranks_;
@@ -185,7 +184,7 @@ void Comm::bcast(void* data, size_t bytes, int root) {
   world_->barrier();
   if (rank_ == root) world_->publish(rank_, data);
   world_->barrier();
-  if (rank_ != root)
+  if (rank_ != root && bytes > 0)
     std::memcpy(data, world_->staged(root), bytes);
   world_->barrier();
   stats().add("Bcast", static_cast<long long>(bytes), t.seconds());
@@ -193,58 +192,72 @@ void Comm::bcast(void* data, size_t bytes, int root) {
 
 namespace {
 template <typename T>
-void allreduce_impl(World* w, int rank, T* data, size_t n,
-                    std::vector<T>& scratch) {
-  // Rank 0 hosts the accumulator; everyone adds under a lock, then copies.
-  static thread_local std::vector<unsigned char> dummy;
-  (void)dummy;
+void allreduce_impl(World* w, int rank, int nranks, T* data, size_t n) {
+  // Deterministic reduction: every rank publishes its buffer, then sums all
+  // contributions itself in rank order. The summation order is therefore
+  // fixed (0, 1, ..., p-1) regardless of thread scheduling, and every rank
+  // ends up with bit-identical results.
+  w->publish(rank, data);
   w->barrier();
-  if (rank == 0) {
-    scratch.assign(n, T{});
-    w->publish(0, scratch.data());
+  std::vector<T> acc(n, T{});
+  for (int r = 0; r < nranks; ++r) {
+    const T* src = static_cast<const T*>(w->staged(r));
+    for (size_t i = 0; i < n; ++i) acc[i] += src[i];
   }
-  w->barrier();
-  auto* acc = static_cast<T*>(const_cast<void*>(w->staged(0)));
-  {
-    std::lock_guard<std::mutex> lock(w->reduce_mu);
-    for (size_t i = 0; i < n; ++i) acc[i] += data[i];
-  }
-  w->barrier();
-  std::memcpy(data, acc, n * sizeof(T));
+  w->barrier();  // nobody overwrites their input before everyone has read it
+  std::memcpy(data, acc.data(), n * sizeof(T));
   w->barrier();
 }
 }  // namespace
 
 void Comm::allreduce_sum(cplx* data, size_t n) {
   Timer t;
-  static thread_local std::vector<cplx> scratch_c;
-  allreduce_impl(world_, rank_, data, n, scratch_c);
+  allreduce_impl(world_, rank_, size(), data, n);
   stats().add("Allreduce", static_cast<long long>(n * sizeof(cplx)),
               t.seconds());
 }
 
 void Comm::allreduce_sum(real_t* data, size_t n) {
   Timer t;
-  static thread_local std::vector<real_t> scratch_r;
-  allreduce_impl(world_, rank_, data, n, scratch_r);
+  allreduce_impl(world_, rank_, size(), data, n);
   stats().add("Allreduce", static_cast<long long>(n * sizeof(real_t)),
               t.seconds());
 }
 
+namespace {
+template <typename T>
+void allgatherv_impl(World* w, int rank, int nranks, const T* send, T* recv,
+                     const std::vector<size_t>& counts) {
+  PTIM_CHECK(counts.size() == static_cast<size_t>(nranks));
+  w->publish(rank, send);
+  w->barrier();
+  size_t offset = 0;
+  for (int r = 0; r < nranks; ++r) {
+    const size_t cnt = counts[static_cast<size_t>(r)];
+    // Zero-count ranks may legitimately publish a null pointer (empty band
+    // blocks); memcpy with a null source is UB even for zero bytes.
+    if (cnt > 0)
+      std::memcpy(recv + offset, static_cast<const T*>(w->staged(r)),
+                  cnt * sizeof(T));
+    offset += cnt;
+  }
+  w->barrier();
+}
+}  // namespace
+
 void Comm::allgatherv(const cplx* send, size_t send_count, cplx* recv,
                       const std::vector<size_t>& counts) {
   Timer t;
-  PTIM_CHECK(counts.size() == static_cast<size_t>(size()));
-  world_->publish(rank_, send);
-  world_->barrier();
-  size_t offset = 0;
-  for (int r = 0; r < size(); ++r) {
-    const auto* src = static_cast<const cplx*>(world_->staged(r));
-    std::memcpy(recv + offset, src, counts[static_cast<size_t>(r)] * sizeof(cplx));
-    offset += counts[static_cast<size_t>(r)];
-  }
-  world_->barrier();
+  allgatherv_impl(world_, rank_, size(), send, recv, counts);
   stats().add("Allgatherv", static_cast<long long>(send_count * sizeof(cplx)),
+              t.seconds());
+}
+
+void Comm::allgatherv(const real_t* send, size_t send_count, real_t* recv,
+                      const std::vector<size_t>& counts) {
+  Timer t;
+  allgatherv_impl(world_, rank_, size(), send, recv, counts);
+  stats().add("Allgatherv", static_cast<long long>(send_count * sizeof(real_t)),
               t.seconds());
 }
 

@@ -88,13 +88,19 @@ class Comm {
   void sendrecv(int dest, const void* sendbuf, size_t send_bytes, int src,
                 void* recvbuf, size_t recv_bytes, int tag = 0);
 
-  // Collectives.
+  // Collectives. allreduce_sum is deterministic: every rank forms the sum
+  // in rank order (0, 1, ..., p-1), so the result is bit-identical on all
+  // ranks and independent of thread scheduling — the property the
+  // distributed PT-IM propagator relies on to reproduce the serial
+  // trajectory.
   void bcast(void* data, size_t bytes, int root);
   void allreduce_sum(cplx* data, size_t n);
   void allreduce_sum(real_t* data, size_t n);
   // Each rank contributes `send_count` elements; all ranks receive the
   // concatenation ordered by rank.
   void allgatherv(const cplx* send, size_t send_count, cplx* recv,
+                  const std::vector<size_t>& counts);
+  void allgatherv(const real_t* send, size_t send_count, real_t* recv,
                   const std::vector<size_t>& counts);
   // counts[i]: elements this rank sends to rank i (and symmetric layout on
   // the receive side: recv_counts[i] elements arrive from rank i).

@@ -1,0 +1,30 @@
+#pragma once
+// Packing of the PT-IM fixed-point unknowns (Phi ++ sigma) into the flat
+// Anderson-mixing vector. Shared by the serial and band-distributed
+// propagators: the distributed trajectory-equivalence contract depends on
+// both using the identical layout.
+
+#include <algorithm>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace ptim::td::detail {
+
+inline void flatten(const la::MatC& phi, const la::MatC& sigma,
+                    std::vector<cplx>& out) {
+  out.resize(phi.size() + sigma.size());
+  std::copy(phi.data(), phi.data() + phi.size(), out.begin());
+  std::copy(sigma.data(), sigma.data() + sigma.size(),
+            out.begin() + static_cast<long>(phi.size()));
+}
+
+inline void unflatten(const std::vector<cplx>& in, la::MatC& phi,
+                      la::MatC& sigma) {
+  std::copy(in.begin(), in.begin() + static_cast<long>(phi.size()),
+            phi.data());
+  std::copy(in.begin() + static_cast<long>(phi.size()), in.end(),
+            sigma.data());
+}
+
+}  // namespace ptim::td::detail

@@ -1,15 +1,13 @@
-#include "td/ptim.hpp"
+#include "td/ptim_dist.hpp"
 
 #include <cmath>
 
 #include "common/timer.hpp"
-#include "ham/density.hpp"
+#include "dist/mixer_dist.hpp"
+#include "dist/rotate.hpp"
 #include "la/blas.hpp"
 #include "la/cholesky.hpp"
-#include "la/eig.hpp"
-#include "la/mixer.hpp"
 #include "la/util.hpp"
-#include "pw/wavefunction.hpp"
 #include "td/pack.hpp"
 
 namespace ptim::td {
@@ -17,25 +15,44 @@ namespace ptim::td {
 using detail::flatten;
 using detail::unflatten;
 
-PtImPropagator::PtImPropagator(ham::Hamiltonian& h, PtImOptions opt,
-                               const LaserPulse* laser)
+DistTdState scatter_state(const TdState& s, const dist::BlockLayout& bands,
+                          int rank) {
+  DistTdState d;
+  d.phi_local = dist::scatter_bands(s.phi, bands, rank);
+  d.sigma = s.sigma;
+  d.time = s.time;
+  return d;
+}
+
+TdState gather_state(ptmpi::Comm& c, const DistTdState& s,
+                     const dist::BlockLayout& bands) {
+  TdState full;
+  full.phi = dist::gather_bands(c, s.phi_local, bands);
+  full.sigma = s.sigma;
+  full.time = s.time;
+  return full;
+}
+
+DistPtImPropagator::DistPtImPropagator(dist::BandDistributedHamiltonian& h,
+                                       PtImOptions opt,
+                                       const LaserPulse* laser)
     : h_(&h), opt_(opt), laser_(laser) {}
 
-void PtImPropagator::configure_exchange_midpoint(const la::MatC& phih,
-                                                 la::MatC sigmah) {
+void DistPtImPropagator::configure_exchange_midpoint(
+    const la::MatC& phih_local, const la::MatC& sigmah, la::MatC theta_local) {
   if (!opt_.hybrid) {
-    h_->set_exchange_mode(ham::ExchangeMode::kNone);
+    h_->set_exchange_none();
     return;
   }
   switch (opt_.variant) {
     case PtImVariant::kBaseline:
-      h_->set_exchange_mode(ham::ExchangeMode::kExactNaive);
-      h_->set_exchange_source_mixed(phih, std::move(sigmah));
+      // Reuses the theta = Phi*sigma block the density pass circulated.
+      h_->set_exchange_source_mixed_naive(phih_local, sigmah,
+                                          std::move(theta_local));
       if (stats_) ++stats_->exchange_applications;
       break;
     case PtImVariant::kDiag:
-      h_->set_exchange_mode(ham::ExchangeMode::kExactDiag);
-      h_->set_exchange_source_mixed(phih, std::move(sigmah));
+      h_->set_exchange_source_mixed_diag(phih_local, sigmah);
       if (stats_) ++stats_->exchange_applications;
       break;
     case PtImVariant::kAce:
@@ -44,22 +61,24 @@ void PtImPropagator::configure_exchange_midpoint(const la::MatC& phih,
   }
 }
 
-int PtImPropagator::fixed_point(const TdState& start, la::MatC& phi1,
-                                la::MatC& sigma1, real_t t_half,
-                                real_t* residual_out) {
-  const la::MatC& phin = start.phi;
+int DistPtImPropagator::fixed_point(const DistTdState& start, la::MatC& phi1,
+                                    la::MatC& sigma1, real_t t_half,
+                                    real_t* residual_out) {
+  const la::MatC& phin = start.phi_local;
   const la::MatC& sigman = start.sigma;
   const size_t npw = phin.rows();
-  const size_t nb = phin.cols();
+  const size_t nloc = phin.cols();
+  const size_t nb = sigman.rows();
   const real_t dt = opt_.dt;
   const cplx idt{0.0, dt};
 
-  la::AndersonMixer mixer(npw * nb + nb * nb, opt_.anderson_history,
-                          opt_.anderson_beta);
-  if (laser_) h_->set_vector_potential(laser_->vector_potential(t_half));
+  dist::DistAndersonMixer mixer(h_->comm(), npw * nloc, nb * nb,
+                                opt_.anderson_history, opt_.anderson_beta);
+  if (laser_)
+    h_->local().set_vector_potential(laser_->vector_potential(t_half));
 
-  la::MatC phih(npw, nb), sigmah(nb, nb), hphi(npw, nb);
-  la::MatC m(nb, nb), s(nb, nb), x(nb, nb), proj(npw, nb);
+  la::MatC phih(npw, nloc), sigmah(nb, nb), hphi(npw, nloc);
+  la::MatC x(nb, nb);
   std::vector<cplx> xv, fv;
 
   int it = 1;
@@ -71,27 +90,27 @@ int PtImPropagator::fixed_point(const TdState& start, la::MatC& phi1,
       sigmah.data()[i] = 0.5 * (sigma1.data()[i] + sigman.data()[i]);
     la::hermitize(sigmah);
 
-    // Midpoint density and Hamiltonian (Eq. 5).
-    const std::vector<real_t> rho =
-        (opt_.variant == PtImVariant::kBaseline)
-            ? ham::density_sigma_naive(phih, sigmah, h_->den_map())
-            : ham::density_sigma(phih, sigmah, h_->den_map());
+    // Midpoint density and Hamiltonian (Eq. 5); rho is Allreduced, so every
+    // rank's local Hamiltonian sees identical potentials.
+    la::MatC theta;
+    const std::vector<real_t> rho = h_->density(phih, sigmah, &theta);
     h_->set_density(rho);
-    configure_exchange_midpoint(phih, sigmah);
+    configure_exchange_midpoint(phih, sigmah, std::move(theta));
     h_->apply(phih, hphi);
 
-    // M = Phi_h^H H Phi_h ; overlap S = Phi_h^H Phi_h.
-    la::gemm_cn(phih, hphi, m);
-    la::gemm_cn(phih, phih, s);
+    // Overlap S = Phi_h^H Phi_h and M = Phi_h^H H Phi_h (replicated), from
+    // one band->grid transpose of each block.
+    la::MatC s, m;
+    h_->overlap_pair(phih, hphi, &s, &m);
 
     // Projector part: P~ H Phi_h = Phi_h S^{-1} M.
     x = m;
     const la::MatC l = la::cholesky(s);
     la::cholesky_solve(l, x);
-    la::gemm_nn(phih, x, proj);
+    const la::MatC proj = h_->rotate(phih, x);
 
     // Updates (Eq. 6).
-    la::MatC phi_new(npw, nb), sigma_new(nb, nb);
+    la::MatC phi_new(npw, nloc), sigma_new(nb, nb);
     for (size_t i = 0; i < phi_new.size(); ++i)
       phi_new.data()[i] =
           phin.data()[i] - idt * (hphi.data()[i] - proj.data()[i]);
@@ -106,12 +125,15 @@ int PtImPropagator::fixed_point(const TdState& start, la::MatC& phi1,
       sigma_new = sigman;  // PT-CN: occupations frozen
     }
 
-    // Residual of the fixed point.
-    real_t rnum = 0.0, rden = 0.0;
+    // Residual of the fixed point: Phi part reduced over ranks, sigma part
+    // (replicated) added once after the reduction.
+    real_t acc[2] = {0.0, 0.0};
     for (size_t i = 0; i < phi_new.size(); ++i) {
-      rnum += std::norm(phi_new.data()[i] - phi1.data()[i]);
-      rden += std::norm(phi1.data()[i]);
+      acc[0] += std::norm(phi_new.data()[i] - phi1.data()[i]);
+      acc[1] += std::norm(phi1.data()[i]);
     }
+    h_->comm().allreduce_sum(acc, 2);
+    real_t rnum = acc[0], rden = acc[1];
     for (size_t i = 0; i < sigma_new.size(); ++i) {
       rnum += std::norm(sigma_new.data()[i] - sigma1.data()[i]);
       rden += std::norm(sigma1.data()[i]);
@@ -137,39 +159,26 @@ int PtImPropagator::fixed_point(const TdState& start, la::MatC& phi1,
   return it;
 }
 
-real_t PtImPropagator::build_ace_from(const la::MatC& phi, la::MatC sigma) {
-  ScopedTimer t("ptim.ace_prepare");
-  la::hermitize(sigma);
-  const auto eig = la::eig_herm(sigma);
-  la::MatC rotated(phi.rows(), phi.cols());
-  la::gemm_nn(phi, eig.V, rotated);
-
-  la::MatC w;
-  ham::AceOperator ace =
-      ham::AceOperator::build_diag(h_->exchange_op(), rotated, eig.w, &w);
+real_t DistPtImPropagator::build_ace_from(const la::MatC& phi_local,
+                                          const la::MatC& sigma) {
+  ScopedTimer t("ptim.ace_prepare_dist");
+  const real_t ex = h_->build_ace(phi_local, sigma);
   if (stats_) ++stats_->exchange_applications;
-
-  real_t ex = 0.0;
-  for (size_t b = 0; b < phi.cols(); ++b)
-    ex += eig.w[b] *
-          std::real(la::dotc(phi.rows(), rotated.col(b), w.col(b)));
-
-  h_->set_ace(std::move(ace));
   return ex;
 }
 
-PtImStepStats PtImPropagator::step(TdState& s) {
-  ScopedTimer timer("td.ptim_step");
+PtImStepStats DistPtImPropagator::step(DistTdState& s) {
+  ScopedTimer timer("td.ptim_step_dist");
   PtImStepStats stats;
   stats_ = &stats;
 
   const real_t t_half = s.time + 0.5 * opt_.dt;
-  la::MatC phi1 = s.phi;
+  la::MatC phi1 = s.phi_local;
   la::MatC sigma1 = s.sigma;
 
   if (opt_.variant == PtImVariant::kAce && opt_.hybrid) {
     // First inner SCF runs with the ACE built at t_n (Fig. 4b).
-    real_t ex_prev = build_ace_from(s.phi, s.sigma);
+    real_t ex_prev = build_ace_from(s.phi_local, s.sigma);
     real_t res = 0.0;
     for (int outer = 1; outer <= opt_.max_outer; ++outer) {
       ++stats.outer_iterations;
@@ -178,7 +187,7 @@ PtImStepStats PtImPropagator::step(TdState& s) {
       la::MatC phih(phi1.rows(), phi1.cols()), sigmah(sigma1.rows(),
                                                       sigma1.cols());
       for (size_t i = 0; i < phih.size(); ++i)
-        phih.data()[i] = 0.5 * (phi1.data()[i] + s.phi.data()[i]);
+        phih.data()[i] = 0.5 * (phi1.data()[i] + s.phi_local.data()[i]);
       for (size_t i = 0; i < sigmah.size(); ++i)
         sigmah.data()[i] = 0.5 * (sigma1.data()[i] + s.sigma.data()[i]);
       const real_t ex = build_ace_from(phih, sigmah);
@@ -198,15 +207,15 @@ PtImStepStats PtImPropagator::step(TdState& s) {
 
   // Alg. 1 line 13: orthogonalize Phi, conjugate-symmetrize sigma. The
   // congruence sigma -> L^H sigma L keeps P = Phi sigma Phi^H invariant.
-  la::MatC sfinal = pw::overlap(phi1, phi1);
+  la::MatC sfinal = h_->overlap(phi1, phi1);
   const la::MatC l = la::cholesky(sfinal);
-  la::solve_upper_right(l, phi1);  // Phi <- Phi L^{-H}
+  phi1 = h_->solve_upper_right(l, phi1);  // Phi <- Phi L^{-H}
   la::MatC tmp(sigma1.rows(), sigma1.cols());
   la::gemm('C', 'N', 1.0, l, sigma1, 0.0, tmp);  // L^H sigma
   la::gemm_nn(tmp, l, sigma1);                   // (L^H sigma) L
   la::hermitize(sigma1);
 
-  s.phi = std::move(phi1);
+  s.phi_local = std::move(phi1);
   s.sigma = std::move(sigma1);
   s.time += opt_.dt;
   stats_ = nullptr;

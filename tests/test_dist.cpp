@@ -1,13 +1,19 @@
 // Distributed kernels: block layouts, the Fig. 1 Alltoallv transpose, the
-// Fig. 6 SHM overlap reduction, and — centrally — the equality of the
-// Bcast / Ring / Async-Ring exchange patterns with the serial operator.
+// Fig. 6 SHM overlap reduction, the ring-based wavefunction rotation, the
+// distributed Anderson mixer, and — centrally — the equality of the
+// Bcast / Ring / Async-Ring exchange patterns (rank-local and legacy
+// full-replication APIs) with the serial operator.
 
 #include <gtest/gtest.h>
 
 #include "dist/exchange_dist.hpp"
 #include "dist/layout.hpp"
+#include "dist/mixer_dist.hpp"
+#include "dist/rotate.hpp"
 #include "dist/transpose.hpp"
 #include "la/blas.hpp"
+#include "la/cholesky.hpp"
+#include "la/mixer.hpp"
 #include "test_helpers.hpp"
 
 using namespace ptim;
@@ -184,6 +190,237 @@ INSTANTIATE_TEST_SUITE_P(
                                          dist::ExchangePattern::kRing,
                                          dist::ExchangePattern::kAsyncRing),
                        ::testing::Values(1, 2, 3, 4)));
+
+TEST(ExchangeDist, LocalApiMatchesLegacyWrapper) {
+  // Satellite pin: the refactored rank-local API and the legacy
+  // full-replication wrapper agree with each other (bit-for-bit — the
+  // wrapper slices and delegates) and with the serial operator.
+  XEnv e;
+  const size_t npw = e.sys.sphere->npw();
+  const size_t nb = 7;  // non-divisible on 3 ranks
+  const la::MatC src = test::random_orbitals(npw, nb, 410);
+  std::vector<real_t> d{1.0, 0.9, 0.7, 0.4, 0.2, 0.05, 0.0};
+  const la::MatC tgt = test::random_orbitals(npw, nb, 411);
+
+  la::MatC ref(npw, nb);
+  e.xop.apply_diag(src, d, tgt, ref);
+
+  const int p = 3;
+  const dist::BlockLayout sb(nb, p), tb(nb, p);
+  for (const auto pat :
+       {dist::ExchangePattern::kBcast, dist::ExchangePattern::kRing,
+        dist::ExchangePattern::kAsyncRing}) {
+    std::vector<la::MatC> legacy(static_cast<size_t>(p)),
+        local(static_cast<size_t>(p));
+    ptmpi::run_ranks(p, 2, [&](ptmpi::Comm& c) {
+      legacy[static_cast<size_t>(c.rank())] =
+          dist::exchange_apply_distributed(c, e.xop, src, d, tgt, pat);
+    });
+    ptmpi::run_ranks(p, 2, [&](ptmpi::Comm& c) {
+      const int me = c.rank();
+      const la::MatC src_local = dist::scatter_bands(src, sb, me);
+      const la::MatC tgt_local = dist::scatter_bands(tgt, tb, me);
+      const std::vector<real_t> d_local(
+          d.begin() + static_cast<long>(sb.offset(me)),
+          d.begin() + static_cast<long>(sb.offset(me) + sb.count(me)));
+      local[static_cast<size_t>(me)] = dist::exchange_apply_distributed_local(
+          c, e.xop, src_local, d_local, tgt_local, sb, pat);
+    });
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(la::frob_diff(legacy[static_cast<size_t>(r)],
+                              local[static_cast<size_t>(r)]),
+                0.0)
+          << dist::pattern_name(pat) << " rank " << r;
+      const auto& blk = local[static_cast<size_t>(r)];
+      for (size_t b = 0; b < tb.count(r); ++b)
+        for (size_t i = 0; i < npw; ++i)
+          EXPECT_NEAR(std::abs(blk(i, b) - ref(i, tb.offset(r) + b)), 0.0,
+                      1e-10)
+              << dist::pattern_name(pat);
+    }
+  }
+}
+
+TEST(ExchangeDist, MixedLocalMatchesSerialNaive) {
+  // Full-sigma exchange on rank-local blocks (the distributed Baseline
+  // path) against the serial Alg. 2 triple loop.
+  XEnv e;
+  const size_t npw = e.sys.sphere->npw();
+  const size_t nb = 5;
+  const la::MatC src = test::random_orbitals(npw, nb, 420);
+  const la::MatC sigma = test::random_occupation_matrix(nb, 421);
+  const la::MatC tgt = test::random_orbitals(npw, nb, 422);
+
+  la::MatC ref(npw, nb);
+  e.xop.apply_mixed_naive(src, sigma, tgt, ref);
+
+  la::MatC theta(npw, nb);
+  la::gemm_nn(src, sigma, theta);
+
+  for (const int p : {2, 3}) {
+    const dist::BlockLayout sb(nb, p), tb(nb, p);
+    std::vector<la::MatC> blocks(static_cast<size_t>(p));
+    ptmpi::run_ranks(p, 2, [&](ptmpi::Comm& c) {
+      const int me = c.rank();
+      blocks[static_cast<size_t>(me)] =
+          dist::exchange_apply_distributed_mixed_local(
+              c, e.xop, dist::scatter_bands(src, sb, me),
+              dist::scatter_bands(theta, sb, me),
+              dist::scatter_bands(tgt, tb, me), sb,
+              dist::ExchangePattern::kAsyncRing);
+    });
+    for (int r = 0; r < p; ++r) {
+      const auto& blk = blocks[static_cast<size_t>(r)];
+      for (size_t b = 0; b < tb.count(r); ++b)
+        for (size_t i = 0; i < npw; ++i)
+          EXPECT_NEAR(std::abs(blk(i, b) - ref(i, tb.offset(r) + b)), 0.0,
+                      1e-10)
+              << "p=" << p;
+    }
+  }
+}
+
+// ------------------------------------------------------------- rotation ---
+
+class RotateParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(RotateParam, MatchesSerialGemm) {
+  const int p = GetParam();
+  const size_t npw = 41, nb = 7;
+  const la::MatC a = test::random_matrix(npw, nb, 500 + p);
+  const la::MatC r = test::random_matrix(nb, nb, 510 + p);
+  la::MatC ref(npw, nb);
+  la::gemm_nn(a, r, ref);
+
+  const dist::BlockLayout bands(nb, p);
+  for (const auto pat :
+       {dist::ExchangePattern::kBcast, dist::ExchangePattern::kRing,
+        dist::ExchangePattern::kAsyncRing}) {
+    std::vector<la::MatC> blocks(static_cast<size_t>(p));
+    ptmpi::run_ranks(p, 2, [&](ptmpi::Comm& c) {
+      blocks[static_cast<size_t>(c.rank())] = dist::rotate_bands(
+          c, dist::scatter_bands(a, bands, c.rank()), r, bands, pat);
+    });
+    for (int q = 0; q < p; ++q)
+      for (size_t b = 0; b < bands.count(q); ++b)
+        for (size_t i = 0; i < npw; ++i)
+          EXPECT_NEAR(std::abs(blocks[static_cast<size_t>(q)](i, b) -
+                               ref(i, bands.offset(q) + b)),
+                      0.0, 1e-12)
+              << dist::pattern_name(pat) << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, RotateParam,
+                         ::testing::Values(1, 2, 3, 4, 9));
+
+TEST(Rotate, SolveUpperRightDistributedMatchesSerial) {
+  const size_t npw = 33, nb = 6;
+  const la::MatC a = test::random_matrix(npw, nb, 520);
+  const la::MatC spd = [&] {
+    la::MatC h = test::random_hermitian(nb, 521);
+    for (size_t i = 0; i < nb; ++i) h(i, i) += 4.0;
+    return h;
+  }();
+  const la::MatC l = la::cholesky(spd);
+  la::MatC ref = a;
+  la::solve_upper_right(l, ref);
+
+  const int p = 3;
+  const dist::BlockLayout bands(nb, p), rows(npw, p);
+  std::vector<la::MatC> blocks(static_cast<size_t>(p));
+  ptmpi::run_ranks(p, 1, [&](ptmpi::Comm& c) {
+    blocks[static_cast<size_t>(c.rank())] = dist::solve_upper_right_distributed(
+        c, l, dist::scatter_bands(a, bands, c.rank()), bands, rows);
+  });
+  for (int q = 0; q < p; ++q)
+    for (size_t b = 0; b < bands.count(q); ++b)
+      for (size_t i = 0; i < npw; ++i)
+        // The transpose-solve-transpose path runs the identical per-row
+        // arithmetic as the serial solve: exact agreement.
+        EXPECT_EQ(blocks[static_cast<size_t>(q)](i, b),
+                  ref(i, bands.offset(q) + b));
+}
+
+TEST(Rotate, GatherScatterRoundTrip) {
+  const size_t npw = 29, nb = 5;
+  const la::MatC full = test::random_matrix(npw, nb, 530);
+  const int p = 4;
+  const dist::BlockLayout bands(nb, p);
+  std::vector<la::MatC> gathered(static_cast<size_t>(p));
+  ptmpi::run_ranks(p, 2, [&](ptmpi::Comm& c) {
+    const la::MatC local = dist::scatter_bands(full, bands, c.rank());
+    gathered[static_cast<size_t>(c.rank())] =
+        dist::gather_bands(c, local, bands);
+  });
+  for (int r = 0; r < p; ++r)
+    EXPECT_EQ(la::frob_diff(gathered[static_cast<size_t>(r)], full), 0.0);
+}
+
+// -------------------------------------------------------- Anderson mixer ---
+
+TEST(DistMixer, MatchesSerialAndersonMixer) {
+  // Same fixed-point iteration history fed to the serial mixer on the full
+  // vector and to the distributed mixer on (local block ++ shared tail):
+  // the mixed iterates must agree to rounding on every rank.
+  const size_t local_total = 48, shared = 9;
+  const int p = 3;
+  const dist::BlockLayout lay(local_total, p);
+  const int iters = 6;
+
+  // Build a deterministic sequence of (x, f) pairs.
+  std::vector<std::vector<cplx>> xs, fs;
+  Rng rng(77);
+  for (int k = 0; k < iters; ++k) {
+    std::vector<cplx> x(local_total + shared), f(local_total + shared);
+    for (auto& v : x) v = rng.uniform_cplx();
+    for (auto& v : f) v = rng.uniform_cplx() * 0.1;
+    xs.push_back(x);
+    fs.push_back(f);
+  }
+
+  la::AndersonMixer serial(local_total + shared, 20, 0.7);
+  std::vector<std::vector<cplx>> serial_out;
+  for (int k = 0; k < iters; ++k)
+    serial_out.push_back(serial.mix(xs[static_cast<size_t>(k)],
+                                    fs[static_cast<size_t>(k)]));
+
+  std::vector<std::vector<std::vector<cplx>>> dist_out(
+      static_cast<size_t>(p));
+  ptmpi::run_ranks(p, 1, [&](ptmpi::Comm& c) {
+    const int me = c.rank();
+    const size_t n_loc = lay.count(me), off = lay.offset(me);
+    dist::DistAndersonMixer mixer(c, n_loc, shared, 20, 0.7);
+    for (int k = 0; k < iters; ++k) {
+      std::vector<cplx> x(n_loc + shared), f(n_loc + shared);
+      for (size_t i = 0; i < n_loc; ++i) {
+        x[i] = xs[static_cast<size_t>(k)][off + i];
+        f[i] = fs[static_cast<size_t>(k)][off + i];
+      }
+      for (size_t i = 0; i < shared; ++i) {
+        x[n_loc + i] = xs[static_cast<size_t>(k)][local_total + i];
+        f[n_loc + i] = fs[static_cast<size_t>(k)][local_total + i];
+      }
+      dist_out[static_cast<size_t>(me)].push_back(mixer.mix(x, f));
+    }
+  });
+
+  for (int r = 0; r < p; ++r) {
+    const size_t n_loc = lay.count(r), off = lay.offset(r);
+    for (int k = 0; k < iters; ++k) {
+      const auto& got =
+          dist_out[static_cast<size_t>(r)][static_cast<size_t>(k)];
+      const auto& want = serial_out[static_cast<size_t>(k)];
+      for (size_t i = 0; i < n_loc; ++i)
+        EXPECT_NEAR(std::abs(got[i] - want[off + i]), 0.0, 1e-12)
+            << "rank " << r << " iter " << k;
+      for (size_t i = 0; i < shared; ++i)
+        EXPECT_NEAR(std::abs(got[n_loc + i] - want[local_total + i]), 0.0,
+                    1e-12)
+            << "rank " << r << " iter " << k << " shared";
+    }
+  }
+}
 
 TEST(ExchangeDist, RingUsesSendrecvNotBcast) {
   // The communication-pattern shift the paper's Table I reports: Bcast

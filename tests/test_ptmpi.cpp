@@ -1,11 +1,16 @@
 // The in-process MPI substitute: point-to-point semantics, collectives,
-// nonblocking requests, shared-memory windows and statistics recording.
+// nonblocking requests, shared-memory windows and statistics recording —
+// plus randomized stress tests (interleaved nonblocking traffic with mixed
+// tags and sizes, degenerate alltoallv counts, shared-window reuse under
+// contention) covering the paths the band-parallel propagator leans on.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "ptmpi/comm.hpp"
 
 using namespace ptim;
@@ -197,6 +202,218 @@ TEST(Ptmpi, StatsRecorded) {
   EXPECT_EQ(stats[0].ops.at("Send").calls, 1);
   EXPECT_EQ(stats[1].ops.at("Recv").calls, 1);
   EXPECT_GE(stats[0].total_seconds(), 0.0);
+}
+
+// ------------------------------------------------------- stress tests ---
+
+namespace {
+
+// A deterministic pseudo-random traffic plan: message m carries `size`
+// bytes, each byte a function of (src, dst, tag, index).
+struct PlannedMessage {
+  int src, dst, tag;
+  size_t size;
+};
+
+unsigned char payload_byte(const PlannedMessage& m, size_t i) {
+  return static_cast<unsigned char>(
+      (static_cast<size_t>(m.src) * 131 + static_cast<size_t>(m.dst) * 31 +
+       static_cast<size_t>(m.tag) * 7 + i) &
+      0xff);
+}
+
+// Up to `per_pair` messages for every ordered (src, dst) pair with distinct
+// tags (ptmpi matches FIFO within a (source, tag) queue, so same-tag
+// messages must stay ordered; distinct tags may be received in any order).
+std::vector<PlannedMessage> make_plan(int p, int per_pair, unsigned seed) {
+  Rng rng(seed);
+  std::vector<PlannedMessage> plan;
+  for (int s = 0; s < p; ++s)
+    for (int d = 0; d < p; ++d) {
+      if (s == d) continue;
+      const int n = 1 + static_cast<int>(rng.next_u64() % per_pair);
+      for (int k = 0; k < n; ++k) {
+        PlannedMessage m;
+        m.src = s;
+        m.dst = d;
+        m.tag = 100 + k;  // unique per (src, dst)
+        m.size = rng.next_u64() % 2048;  // includes zero-byte messages
+        plan.push_back(m);
+      }
+    }
+  return plan;
+}
+
+}  // namespace
+
+TEST(PtmpiStress, InterleavedIsendIrecvMixedTagsAndSizes) {
+  const int p = 4;
+  for (unsigned seed : {1u, 2u, 3u}) {
+    const std::vector<PlannedMessage> plan = make_plan(p, 3, seed);
+    ptmpi::run_ranks(p, 2, [&](ptmpi::Comm& c) {
+      const int me = c.rank();
+      // My outbound and inbound slices, each shuffled with a rank-specific
+      // deterministic rng so posting order differs from matching order.
+      std::vector<size_t> outbound, inbound;
+      for (size_t i = 0; i < plan.size(); ++i) {
+        if (plan[i].src == me) outbound.push_back(i);
+        if (plan[i].dst == me) inbound.push_back(i);
+      }
+      Rng rng(seed * 977 + static_cast<unsigned>(me));
+      auto shuffle = [&](std::vector<size_t>& v) {
+        for (size_t i = v.size(); i > 1; --i)
+          std::swap(v[i - 1], v[rng.next_u64() % i]);
+      };
+      shuffle(outbound);
+      shuffle(inbound);
+
+      std::vector<std::vector<unsigned char>> sendbuf(outbound.size()),
+          recvbuf(inbound.size());
+      std::vector<ptmpi::Request> reqs;
+      // Interleave: post an irecv, then an isend, then the next irecv, ...
+      const size_t rounds = std::max(outbound.size(), inbound.size());
+      for (size_t r = 0; r < rounds; ++r) {
+        if (r < inbound.size()) {
+          const PlannedMessage& m = plan[inbound[r]];
+          recvbuf[r].assign(m.size, 0);
+          reqs.push_back(c.irecv(m.src, recvbuf[r].data(), m.size, m.tag));
+        }
+        if (r < outbound.size()) {
+          const PlannedMessage& m = plan[outbound[r]];
+          sendbuf[r].resize(m.size);
+          for (size_t i = 0; i < m.size; ++i)
+            sendbuf[r][i] = payload_byte(m, i);
+          reqs.push_back(c.isend(m.dst, sendbuf[r].data(), m.size, m.tag));
+        }
+      }
+      for (auto& rq : reqs) c.wait(rq);
+      // Verify every inbound payload byte-for-byte.
+      for (size_t r = 0; r < inbound.size(); ++r) {
+        const PlannedMessage& m = plan[inbound[r]];
+        for (size_t i = 0; i < m.size; ++i)
+          ASSERT_EQ(recvbuf[r][i], payload_byte(m, i))
+              << "seed " << seed << " msg " << inbound[r] << " byte " << i;
+      }
+    });
+  }
+}
+
+TEST(PtmpiStress, AlltoallvEmptyAndDegenerateCounts) {
+  const int p = 4;
+  // Rank 3 sends nothing to anyone; nobody sends to rank 0 except itself;
+  // everything else follows a deterministic sparse pattern.
+  ptmpi::run_ranks(p, 2, [&](ptmpi::Comm& c) {
+    const int me = c.rank();
+    auto count = [](int s, int d) -> size_t {
+      if (s == 3) return 0;                  // fully empty sender
+      if (d == 0 && s != 0) return 0;        // starved receiver
+      return static_cast<size_t>((s + 2 * d) % 3);  // sprinkled zeros
+    };
+    std::vector<size_t> send_counts(p), recv_counts(p);
+    size_t stotal = 0, rtotal = 0;
+    for (int d = 0; d < p; ++d) {
+      send_counts[static_cast<size_t>(d)] = count(me, d);
+      recv_counts[static_cast<size_t>(d)] = count(d, me);
+      stotal += send_counts[static_cast<size_t>(d)];
+      rtotal += recv_counts[static_cast<size_t>(d)];
+    }
+    std::vector<cplx> send(std::max<size_t>(stotal, 1)),
+        recv(std::max<size_t>(rtotal, 1), cplx(-99.0, -99.0));
+    size_t pos = 0;
+    for (int d = 0; d < p; ++d)
+      for (size_t k = 0; k < send_counts[static_cast<size_t>(d)]; ++k)
+        send[pos++] = cplx(me, d);
+    c.alltoallv(send.data(), send_counts, recv.data(), recv_counts);
+    pos = 0;
+    for (int s = 0; s < p; ++s)
+      for (size_t k = 0; k < recv_counts[static_cast<size_t>(s)]; ++k)
+        EXPECT_NEAR(std::abs(recv[pos++] - cplx(s, me)), 0.0, 1e-14);
+    EXPECT_EQ(pos, rtotal);
+  });
+}
+
+TEST(PtmpiStress, ShmWindowReductionUnderContention) {
+  // Many rounds of node-shared reductions with varying window sizes and
+  // alternating window names: every rank writes its own slot concurrently,
+  // the node leader reduces, all node members check the same total. The
+  // size change forces reallocation between rounds; the name alternation
+  // exercises window identity.
+  const int p = 6;
+  const int rpn = 3;
+  const int rounds = 25;
+  ptmpi::run_ranks(p, rpn, [&](ptmpi::Comm& c) {
+    for (int r = 0; r < rounds; ++r) {
+      const size_t slots = static_cast<size_t>(rpn);
+      const size_t width = 1 + static_cast<size_t>(r % 4);
+      const std::string name = (r % 2 == 0) ? "win_even" : "win_odd";
+      cplx* win = c.shm_allocate(name, slots * width);
+      // Concurrent disjoint writes: rank slot * width.
+      for (size_t k = 0; k < width; ++k)
+        win[static_cast<size_t>(c.node_rank()) * width + k] =
+            cplx(c.rank() + 1, static_cast<real_t>(r + k));
+      c.barrier();
+      // Leader reduces into slot 0.
+      if (c.node_rank() == 0)
+        for (int nr = 1; nr < rpn; ++nr)
+          for (size_t k = 0; k < width; ++k)
+            win[k] += win[static_cast<size_t>(nr) * width + k];
+      c.barrier();
+      // Expected: sum of (global rank + 1) over the node's ranks.
+      real_t expect = 0.0;
+      for (int nr = 0; nr < rpn; ++nr)
+        expect += static_cast<real_t>(c.node() * rpn + nr + 1);
+      for (size_t k = 0; k < width; ++k)
+        EXPECT_NEAR(std::real(win[k]), expect, 1e-12)
+            << "round " << r << " k " << k;
+      c.barrier();  // nobody re-allocates while others still read
+    }
+  });
+}
+
+TEST(PtmpiStress, AllgathervRealAndZeroContributions) {
+  const int p = 4;
+  ptmpi::run_ranks(p, 2, [&](ptmpi::Comm& c) {
+    // Rank 2 contributes nothing (the empty band-block case).
+    std::vector<size_t> counts;
+    for (int r = 0; r < p; ++r)
+      counts.push_back(r == 2 ? 0 : static_cast<size_t>(r + 1));
+    const size_t mine = counts[static_cast<size_t>(c.rank())];
+    std::vector<real_t> send(std::max<size_t>(mine, 1),
+                             static_cast<real_t>(c.rank()) + 0.25);
+    const size_t total =
+        std::accumulate(counts.begin(), counts.end(), size_t{0});
+    std::vector<real_t> all(total, -1.0);
+    c.allgatherv(send.data(), mine, all.data(), counts);
+    size_t idx = 0;
+    for (int r = 0; r < p; ++r)
+      for (size_t k = 0; k < counts[static_cast<size_t>(r)]; ++k)
+        EXPECT_NEAR(all[idx++], static_cast<real_t>(r) + 0.25, 1e-14);
+  });
+}
+
+TEST(PtmpiStress, DeterministicAllreduceBitIdentical) {
+  // The property the distributed propagator relies on: repeated runs of the
+  // same reduction produce bit-identical results on every rank regardless
+  // of scheduling.
+  const int p = 4;
+  const size_t n = 257;
+  std::vector<std::vector<real_t>> results(3);
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<std::vector<real_t>> per_rank(p);
+    ptmpi::run_ranks(p, 2, [&](ptmpi::Comm& c) {
+      Rng rng(1000 + static_cast<unsigned>(c.rank()));
+      std::vector<real_t> v(n);
+      for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+      c.allreduce_sum(v.data(), n);
+      per_rank[static_cast<size_t>(c.rank())] = v;
+    });
+    for (int r = 1; r < p; ++r)
+      ASSERT_EQ(per_rank[0], per_rank[static_cast<size_t>(r)]) << "trial "
+                                                               << trial;
+    results[static_cast<size_t>(trial)] = per_rank[0];
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[1], results[2]);
 }
 
 TEST(Ptmpi, ExceptionPropagates) {
