@@ -86,7 +86,8 @@ struct MiniSystem {
 inline std::vector<ptmpi::CommStats> run_distributed_steps(
     const MiniSystem& sys, td::PtImVariant variant,
     dist::ExchangePattern pattern, int nranks, int steps,
-    double* step_seconds = nullptr) {
+    double* step_seconds = nullptr,
+    Precision exchange_precision = Precision::kDouble) {
   const size_t nb = sys.ground.phi.cols();
   const dist::BlockLayout bands(nb, nranks);
   const td::TdState init = sys.initial();
@@ -102,6 +103,7 @@ inline std::vector<ptmpi::CommStats> run_distributed_steps(
     opt.dt = 1.0;
     opt.tol = 1e-7;
     opt.variant = variant;
+    opt.exchange_precision = exchange_precision;
     td::DistPtImPropagator prop(bdh, opt, nullptr);
     c.barrier();  // setup done on every rank before the clock starts
     Timer t;

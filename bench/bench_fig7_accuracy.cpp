@@ -90,6 +90,97 @@ void compare(const char* label, MiniSystem& sys) {
               "(pure and mixed states)\n");
 }
 
+// Precision sweep: the same 10-step PT-IM-ACE trajectory with the exchange
+// pipeline at every Precision mode. Energies and dipoles of every run are
+// measured with the FP64 operator so the columns isolate trajectory drift;
+// wall time and FFT counts are the in-mode hot-path numbers. Results land
+// in BENCH_exchange_precision.json for the perf/accuracy trajectory.
+void precision_sweep(MiniSystem& sys) {
+  const int steps = 10;
+  const real_t dt = 1.0;
+
+  struct Run {
+    Precision p;
+    double seconds = 0.0;
+    long ffts = 0;
+    std::vector<real_t> dipole, energy;
+  };
+  std::vector<Run> runs;
+  for (const Precision p : {Precision::kDouble, Precision::kSingle,
+                            Precision::kSingleCompensated}) {
+    Run run;
+    run.p = p;
+    sys.ham->set_exchange_precision(p);
+    td::TdState s = sys.initial();
+    td::PtImOptions opt;
+    opt.dt = dt;
+    opt.variant = td::PtImVariant::kAce;
+    // Production tolerances (paper defaults). Note: tol_fock must sit above
+    // the FP32 noise floor (~1e-7 relative) or the ACE outer loop runs to
+    // its cap chasing noise — the README's "when to pick each mode" rule.
+    opt.tol = 1e-6;
+    opt.tol_fock = 1e-6;
+    td::PtImPropagator prop(*sys.ham, opt, nullptr);
+    for (int i = 0; i < steps; ++i) {
+      // Wall clock and FFT count cover the steps only, not the FP64
+      // measurement of the observables.
+      const long f0 = sys.ham->exchange_op().fft_count;
+      Timer t;
+      prop.step(s);
+      run.seconds += t.seconds();
+      run.ffts += sys.ham->exchange_op().fft_count - f0;
+      sys.ham->set_exchange_precision(Precision::kDouble);
+      run.dipole.push_back(sys.dipole_x(s));
+      run.energy.push_back(sys.energy(s));
+      sys.ham->set_exchange_precision(p);
+    }
+    runs.push_back(std::move(run));
+  }
+  sys.ham->set_exchange_precision(Precision::kDouble);
+
+  std::printf("\n-- precision sweep: 10-step PT-IM-ACE, exchange pipeline "
+              "per mode --\n");
+  std::printf("%10s %12s %8s %14s %16s\n", "precision", "seconds", "FFTs",
+              "max |dE| Ha", "dipole drift");
+  const Run& ref = runs[0];
+  struct Row {
+    Precision p;
+    double seconds;
+    long ffts;
+    double max_de, dip_drift;
+  };
+  std::vector<Row> rows;
+  for (const Run& r : runs) {
+    double max_de = 0.0, drift = 0.0;
+    for (size_t i = 0; i < r.energy.size(); ++i)
+      max_de = std::max(max_de, std::abs(r.energy[i] - ref.energy[i]));
+    for (size_t i = 0; i < r.dipole.size(); ++i)
+      drift = std::max(drift, std::abs(r.dipole[i] - ref.dipole[i]));
+    rows.push_back({r.p, r.seconds, r.ffts, max_de, drift});
+    std::printf("%10s %12.4f %8ld %14.3e %16.3e\n", precision_name(r.p),
+                r.seconds, r.ffts, max_de, drift);
+  }
+  std::printf("(energies/dipoles measured with the FP64 operator; FP32 "
+              "affects only the exchange hot path)\n");
+
+  const char* path = "BENCH_exchange_precision.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fprintf(f, "{\n  \"exchange_precision\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i)
+      std::fprintf(f,
+                   "    {\"precision\": \"%s\", \"seconds\": %.6e, "
+                   "\"ffts\": %ld, \"max_abs_denergy\": %.3e, "
+                   "\"dipole_drift\": %.3e, \"speedup_vs_fp64\": %.4f}%s\n",
+                   precision_name(rows[i].p), rows[i].seconds, rows[i].ffts,
+                   rows[i].max_de, rows[i].dip_drift,
+                   rows[0].seconds / rows[i].seconds,
+                   i + 1 < rows.size() ? "," : "");
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("(per-mode timings written to %s)\n", path);
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -104,6 +195,7 @@ int main() {
   {
     MiniSystem mixed = MiniSystem::make(/*T=*/8000.0);
     compare("mixed states (T = 8000 K, fractional occupations)", mixed);
+    precision_sweep(mixed);
   }
   return 0;
 }

@@ -83,6 +83,25 @@ static void BM_Fft3DBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_Fft3DBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
+// FP32 twin of the batched 3-D transform: same boxes, half the bytes per
+// element — the expected win on this bandwidth-bound kernel.
+static void BM_Fft3DBatchF32(benchmark::State& state) {
+  const size_t n = 20;
+  const auto nbatch = static_cast<size_t>(state.range(0));
+  fft::Fft3f f(n, n, n);
+  std::vector<cplxf> data(f.size() * nbatch);
+  Rng rng(1);
+  for (auto& v : data) v = static_cast<cplxf>(rng.uniform_cplx());
+  for (auto _ : state) {
+    f.forward_batch(data.data(), nbatch);
+    f.inverse_batch(data.data(), nbatch);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.counters["transforms/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(nbatch), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fft3DBatchF32)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
 static void BM_GemmCN(benchmark::State& state) {
   const auto n = static_cast<size_t>(state.range(0));
   const la::MatC a = random_mat(4096, n, 2);
@@ -157,6 +176,30 @@ static void BM_ExchangeBatchSize(benchmark::State& state) {
       static_cast<double>(2 * nb * nb), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ExchangeBatchSize)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+// Batched exchange apply swept over the precision policy on one fixed 8x8
+// problem: arg 0/1/2 = kDouble/kSingle/kSingleCompensated.
+static void BM_ExchangePrecision(benchmark::State& state) {
+  auto& x = xbench();
+  const auto p = static_cast<Precision>(state.range(0));
+  const size_t nb = 8;
+  const size_t npw = x.sphere.npw();
+  la::MatC src = random_mat(npw, nb, 10);
+  pw::orthonormalize_lowdin(src);
+  la::MatC out(npw, nb);
+  const std::vector<real_t> d(nb, 0.5);
+  ham::ExchangeOptions opt;
+  opt.precision = p;
+  ham::ExchangeOperator xop(x.map, opt);
+  for (auto _ : state) {
+    xop.apply_diag(src, d, src, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(precision_name(p));
+  state.counters["pairFFTs/s"] = benchmark::Counter(
+      static_cast<double>(2 * nb * nb), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExchangePrecision)->Arg(0)->Arg(1)->Arg(2);
 
 static void BM_AceApply(benchmark::State& state) {
   auto& x = xbench();
@@ -261,6 +304,59 @@ void exchange_batch_comparison() {
   }
 }
 
+// Precision head-to-head: the FP64 batched exchange apply vs the FP32
+// pipeline (plain and Kahan-compensated) on the same 8x8 problem. The
+// acceptance bar is FP32 beating FP64 wall-clock while staying within 1e-6
+// relative of the FP64 result.
+void exchange_precision_comparison() {
+  auto& x = xbench();
+  const size_t nb = 8;
+  const size_t npw = x.sphere.npw();
+  la::MatC src = random_mat(npw, nb, 11);
+  pw::orthonormalize_lowdin(src);
+  const std::vector<real_t> d(nb, 0.5);
+
+  struct Row {
+    Precision p;
+    double seconds;
+    long ffts;
+    double max_abs_diff;
+  };
+  std::vector<Row> rows;
+  la::MatC ref;
+  const int reps = 20;  // ~2 ms per apply; enough reps to drown scheduler noise
+  for (const Precision p : {Precision::kDouble, Precision::kSingle,
+                            Precision::kSingleCompensated}) {
+    ham::ExchangeOptions opt;
+    opt.precision = p;
+    ham::ExchangeOperator xop(x.map, opt);
+    la::MatC out(npw, nb);
+    xop.apply_diag(src, d, src, out);  // warm-up
+    xop.fft_count = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) xop.apply_diag(src, d, src, out);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double sec = std::chrono::duration<double>(t1 - t0).count() / reps;
+    double max_abs = 0.0;
+    if (p == Precision::kDouble) {
+      ref = out;
+    } else {
+      for (size_t i = 0; i < out.size(); ++i)
+        max_abs = std::max(max_abs, std::abs(out.data()[i] - ref.data()[i]));
+    }
+    rows.push_back({p, sec, xop.fft_count / reps, max_abs});
+  }
+
+  std::printf("\nExchange apply: FP64 vs FP32 pipeline (8 sources x 8 "
+              "targets, batch 8)\n");
+  std::printf("%10s %12s %10s %10s %16s\n", "precision", "seconds", "FFTs",
+              "speedup", "max|d| vs fp64");
+  for (const auto& r : rows)
+    std::printf("%10s %12.5f %10ld %9.2fx %16.2e\n", precision_name(r.p),
+                r.seconds, r.ffts, rows[0].seconds / r.seconds,
+                r.max_abs_diff);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -269,5 +365,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   exchange_batch_comparison();
+  exchange_precision_comparison();
   return 0;
 }

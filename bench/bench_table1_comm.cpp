@@ -57,31 +57,39 @@ int main() {
   run(netsim::Platform::fugaku_arm(), 960, arm);
   run(netsim::Platform::gpu_a100(), 96, gpu);
 
-  // Measured pattern check on thread ranks: the ring eliminates Bcast bytes.
+  // Measured pattern check on thread ranks: the ring eliminates Bcast
+  // bytes, and the FP32 exchange policy halves whatever pattern bytes
+  // remain (cplxf slabs circulate instead of cplx).
   std::printf("\n[measured] per-rank bytes by MPI op, 4 thread ranks, one "
-              "exchange application\n");
+              "exchange application, FP64 vs FP32 slabs\n");
   bench::MiniSystem sys = bench::MiniSystem::make(8000.0);
   pw::SphereGridMap map{*sys.sphere, *sys.wfc_grid};
-  ham::ExchangeOperator xop{map, {}};
-  std::printf("%-10s", "pattern");
+  std::printf("%-10s %-6s", "pattern", "prec");
   for (const char* op : {"Bcast", "Sendrecv", "Wait", "Send", "Recv"})
     std::printf(" %12s", op);
   std::printf("\n");
   for (const auto pat :
        {dist::ExchangePattern::kBcast, dist::ExchangePattern::kRing,
         dist::ExchangePattern::kAsyncRing}) {
-    ptmpi::run_ranks(4, 2, [&](ptmpi::Comm& c) {
-      (void)dist::exchange_apply_distributed(c, xop, sys.ground.phi,
-                                             sys.ground.occ, sys.ground.phi,
-                                             pat);
-    });
-    const auto& st = ptmpi::last_run_stats()[0];
-    std::printf("%-10s", dist::pattern_name(pat));
-    for (const char* op : {"Bcast", "Sendrecv", "Wait", "Send", "Recv"}) {
-      const auto it = st.ops.find(op);
-      std::printf(" %12lld", it == st.ops.end() ? 0LL : it->second.bytes);
+    for (const Precision prec : {Precision::kDouble, Precision::kSingle}) {
+      ham::ExchangeOptions xopt;
+      xopt.precision = prec;
+      ham::ExchangeOperator xop{map, xopt};
+      ptmpi::run_ranks(4, 2, [&](ptmpi::Comm& c) {
+        (void)dist::exchange_apply_distributed(c, xop, sys.ground.phi,
+                                               sys.ground.occ, sys.ground.phi,
+                                               pat);
+      });
+      const auto& st = ptmpi::last_run_stats()[0];
+      std::printf("%-10s %-6s", prec == Precision::kDouble
+                                    ? dist::pattern_name(pat) : "",
+                  precision_name(prec));
+      for (const char* op : {"Bcast", "Sendrecv", "Wait", "Send", "Recv"}) {
+        const auto it = st.ops.find(op);
+        std::printf(" %12lld", it == st.ops.end() ? 0LL : it->second.bytes);
+      }
+      std::printf("\n");
     }
-    std::printf("\n");
   }
 
   // Measured Table I analogue from the REAL propagator: one full PT-IM-ACE
@@ -121,6 +129,33 @@ int main() {
     row("ms", [](const ptmpi::OpStats& o) {
       std::printf(" %12.3f", o.seconds * 1e3);
     });
+  }
+
+  // The same real-propagator step with the FP32 exchange policy: the
+  // exchange slab bytes (Sendrecv/Wait under rings, Bcast otherwise) drop
+  // to ~half while the FP64 Allreduce/Alltoallv columns are untouched —
+  // the policy narrows only the exchange payloads.
+  std::printf("\n[measured] same step, FP32 exchange pipeline "
+              "(opt.exchange_precision = kSingle)\n");
+  std::printf("%-10s %-6s", "pattern", "");
+  for (const char* op : kOps) std::printf(" %12s", op);
+  std::printf("\n");
+  for (const auto pat :
+       {dist::ExchangePattern::kBcast, dist::ExchangePattern::kRing,
+        dist::ExchangePattern::kAsyncRing}) {
+    const auto stats = bench::run_distributed_steps(
+        sys, td::PtImVariant::kAce, pat, 4, /*steps=*/1, nullptr,
+        Precision::kSingle);
+    const auto& st = stats[0];
+    std::printf("%-10s %-6s", dist::pattern_name(pat), "bytes");
+    for (const char* op : kOps) {
+      const auto it = st.ops.find(op);
+      if (it == st.ops.end())
+        std::printf(" %12s", "-");
+      else
+        std::printf(" %12lld", it->second.bytes);
+    }
+    std::printf("\n");
   }
   return 0;
 }

@@ -14,9 +14,31 @@ namespace ptim {
 
 using real_t = double;
 using cplx = std::complex<double>;
+// Reduced-precision scalars for the FP32 exact-exchange pipeline: pair
+// densities, their FFTs and the distributed ring payloads may be carried in
+// single precision while every accumulation into wavefunctions stays FP64.
+using realf_t = float;
+using cplxf = std::complex<float>;
 using std::size_t;
 
 inline constexpr cplx I{0.0, 1.0};
+
+// Precision policy for the exact-exchange hot path (ham::ExchangeOptions):
+//   kDouble            — everything in FP64 (the reference),
+//   kSingle            — FP32 pair FFTs/kernels/ring payloads, plain FP64
+//                        accumulation of the exchange contribution,
+//   kSingleCompensated — as kSingle with Kahan-compensated FP64 accumulation
+//                        (guards very long source sums / large batches).
+enum class Precision { kDouble, kSingle, kSingleCompensated };
+
+inline const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::kDouble: return "fp64";
+    case Precision::kSingle: return "fp32";
+    case Precision::kSingleCompensated: return "fp32k";
+  }
+  return "?";
+}
 
 namespace units {
 // Time: 1 atomic unit of time in attoseconds / femtoseconds.

@@ -60,6 +60,17 @@ class Simulation {
   std::unique_ptr<td::PtImPropagator> make_ptim(td::PtImOptions opt);
   std::unique_ptr<td::Rk4Propagator> make_rk4(td::Rk4Options opt);
 
+  // --- precision policy -------------------------------------------------
+  // Scalar type of the exact-exchange hot path (pair FFTs, distributed ring
+  // payloads); the propagated trajectory stays FP64 in every mode. Applied
+  // to the live Hamiltonian and recorded in the spec so per-rank
+  // Hamiltonians of distributed runs inherit it.
+  void set_exchange_precision(Precision p) {
+    spec_.ham.exchange.precision = p;
+    h_->set_exchange_precision(p);
+  }
+  Precision exchange_precision() const { return h_->exchange_precision(); }
+
   // --- band-parallel propagation ----------------------------------------
   // Fresh Hamiltonian over this simulation's (shared, read-only) grids and
   // atoms: each ptmpi rank of a distributed run needs its own instance

@@ -1,11 +1,17 @@
 #pragma once
 // Shared slab-circulation engine behind the band-parallel collectives
 // (exchange and rotation). `mine` holds this rank's payload —
-// src_bands.count(me) bands of `stride` complex elements each — and
+// src_bands.count(me) bands of `stride` elements each — and
 // apply(slab, origin) accumulates the contribution of the block that
 // originated on rank `origin`. The three patterns match Table I: one
 // broadcast per round, a synchronous Sendrecv ring, or an Isend/Irecv ring
 // whose transfer overlaps the apply.
+//
+// The engine is generic over the slab element type: cplx for the FP64
+// pipeline, cplxf for the FP32 exchange policy — the latter halves every
+// Bcast/Sendrecv/Wait byte count for free. Transfers go through the
+// raw-byte Comm API (cast pinned explicitly so the typed element-count
+// overloads never capture a bytes argument).
 
 #include <algorithm>
 #include <vector>
@@ -17,9 +23,9 @@
 
 namespace ptim::dist {
 
-template <typename Apply>
+template <typename T, typename Apply>
 void circulate_slabs(ptmpi::Comm& c, const BlockLayout& src_bands,
-                     size_t stride, const std::vector<cplx>& mine,
+                     size_t stride, const std::vector<T>& mine,
                      ExchangePattern pat, const Apply& apply) {
   const int p = c.size();
   const int me = c.rank();
@@ -27,7 +33,7 @@ void circulate_slabs(ptmpi::Comm& c, const BlockLayout& src_bands,
   size_t maxw = 0;
   for (int r = 0; r < p; ++r) maxw = std::max(maxw, src_bands.count(r));
   const size_t slab_elems = maxw * stride;
-  const size_t slab_bytes = slab_elems * sizeof(cplx);
+  const size_t slab_bytes = slab_elems * sizeof(T);
 
   if (p == 1) {
     apply(mine.data(), 0);
@@ -36,31 +42,32 @@ void circulate_slabs(ptmpi::Comm& c, const BlockLayout& src_bands,
 
   switch (pat) {
     case ExchangePattern::kBcast: {
-      std::vector<cplx> buf(slab_elems);
+      std::vector<T> buf(slab_elems);
       for (int root = 0; root < p; ++root) {
         if (root == me) std::copy(mine.begin(), mine.end(), buf.begin());
-        c.bcast(buf.data(), slab_bytes, root);
+        c.bcast(static_cast<void*>(buf.data()), slab_bytes, root);
         apply(buf.data(), root);
       }
       break;
     }
     case ExchangePattern::kRing: {
-      std::vector<cplx> cur(slab_elems, cplx(0.0)), nxt(slab_elems);
+      std::vector<T> cur(slab_elems, T(0.0)), nxt(slab_elems);
       std::copy(mine.begin(), mine.end(), cur.begin());
       const int next = (me + 1) % p;
       const int prev = (me - 1 + p) % p;
       for (int s = 0; s < p; ++s) {
         apply(cur.data(), (me - s % p + p) % p);
         if (s + 1 < p) {
-          c.sendrecv(next, cur.data(), slab_bytes, prev, nxt.data(),
-                     slab_bytes, /*tag=*/s);
+          c.sendrecv(next, static_cast<const void*>(cur.data()), slab_bytes,
+                     prev, static_cast<void*>(nxt.data()), slab_bytes,
+                     /*tag=*/s);
           std::swap(cur, nxt);
         }
       }
       break;
     }
     case ExchangePattern::kAsyncRing: {
-      std::vector<cplx> cur(slab_elems, cplx(0.0)), nxt(slab_elems);
+      std::vector<T> cur(slab_elems, T(0.0)), nxt(slab_elems);
       std::copy(mine.begin(), mine.end(), cur.begin());
       const int next = (me + 1) % p;
       const int prev = (me - 1 + p) % p;

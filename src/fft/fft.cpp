@@ -23,6 +23,14 @@ size_t smallest_prime_factor(size_t n) {
   return n;
 }
 
+// Twiddle/chirp angles are evaluated in double regardless of the plan's
+// scalar type, then rounded once — the float tables carry no generation
+// error beyond the final rounding.
+template <typename R>
+std::complex<R> unit_root(double ang) {
+  return {static_cast<R>(std::cos(ang)), static_cast<R>(std::sin(ang))};
+}
+
 }  // namespace
 
 bool fft_size_ok(size_t n) { return n >= 1 && factors_into_small_primes(n); }
@@ -33,27 +41,29 @@ size_t next_fft_size(size_t n) {
   return n;
 }
 
-Plan1D::Plan1D(size_t n) : n_(n) {
+template <typename R>
+Plan1DT<R>::Plan1DT(size_t n) : n_(n) {
   PTIM_CHECK_MSG(n >= 1, "Plan1D: size must be positive");
   tw_.resize(n);
+  const double dn = static_cast<double>(n);
   for (size_t k = 0; k < n; ++k) {
-    const real_t ang = -kTwoPi * static_cast<real_t>(k) / static_cast<real_t>(n);
-    tw_[k] = {std::cos(ang), std::sin(ang)};
+    const double ang = -kTwoPi * static_cast<double>(k) / dn;
+    tw_[k] = unit_root<R>(ang);
   }
   use_bluestein_ = !factors_into_small_primes(n) && n > 1;
   if (use_bluestein_) {
     m_ = 1;
     while (m_ < 2 * n - 1) m_ *= 2;
-    conv_plan_ = std::make_unique<Plan1D>(m_);
+    conv_plan_ = std::make_unique<Plan1DT<R>>(m_);
     chirp_.resize(n);
     for (size_t k = 0; k < n; ++k) {
       // e^{-i pi k^2 / n}; reduce k^2 mod 2n to keep the angle accurate.
       const size_t k2 = (k * k) % (2 * n);
-      const real_t ang = -kPi * static_cast<real_t>(k2) / static_cast<real_t>(n);
-      chirp_[k] = {std::cos(ang), std::sin(ang)};
+      const double ang = -kPi * static_cast<double>(k2) / dn;
+      chirp_[k] = unit_root<R>(ang);
     }
     // Filter b_j = conj(chirp) extended circularly; precompute its FFT.
-    std::vector<cplx> b(m_, cplx(0.0));
+    std::vector<C> b(m_, C(0.0));
     b[0] = std::conj(chirp_[0]);
     for (size_t k = 1; k < n; ++k) {
       b[k] = std::conj(chirp_[k]);
@@ -64,25 +74,31 @@ Plan1D::Plan1D(size_t n) : n_(n) {
   }
 }
 
-void Plan1D::forward(const cplx* in, cplx* out) const { transform(in, out, true); }
+template <typename R>
+void Plan1DT<R>::forward(const C* in, C* out) const {
+  transform(in, out, true);
+}
 
-void Plan1D::inverse_unscaled(const cplx* in, cplx* out) const {
+template <typename R>
+void Plan1DT<R>::inverse_unscaled(const C* in, C* out) const {
   transform(in, out, false);
 }
 
-void Plan1D::inverse(const cplx* in, cplx* out) const {
+template <typename R>
+void Plan1DT<R>::inverse(const C* in, C* out) const {
   transform(in, out, false);
-  const real_t inv = 1.0 / static_cast<real_t>(n_);
+  const R inv = R(1) / static_cast<R>(n_);
   for (size_t i = 0; i < n_; ++i) out[i] *= inv;
 }
 
-void Plan1D::transform(const cplx* in, cplx* out, bool fwd) const {
+template <typename R>
+void Plan1DT<R>::transform(const C* in, C* out, bool fwd) const {
   if (n_ == 1) {
     out[0] = in[0];
     return;
   }
   if (in == out) {
-    std::vector<cplx> tmp(in, in + n_);
+    std::vector<C> tmp(in, in + n_);
     transform(tmp.data(), out, fwd);
     return;
   }
@@ -95,18 +111,28 @@ void Plan1D::transform(const cplx* in, cplx* out, bool fwd) const {
 // DFT_n of the input viewed with the given stride; tw_step maps local
 // twiddle index k to the top-level root table: w_n^k == tw_[k * tw_step]
 // (conjugated for the inverse transform).
-void Plan1D::recurse(size_t n, const cplx* in, size_t stride, cplx* out,
-                     size_t tw_step, bool fwd) const {
-  auto root = [&](size_t idx) -> cplx {
-    const cplx w = tw_[idx % n_];
+template <typename R>
+void Plan1DT<R>::recurse(size_t n, const C* in, size_t stride, C* out,
+                         size_t tw_step, bool fwd) const {
+  // Twiddles advance by a fixed stride per term: one modulo reduction per
+  // row, then an add-with-conditional-subtract walks the root table — no
+  // integer division in the inner loops (it used to dominate the FFT).
+  auto root_at = [&](size_t idx) -> C {
+    const C w = tw_[idx];
     return fwd ? w : std::conj(w);
   };
 
   if (n <= 7 || smallest_prime_factor(n) == n) {
     // Direct small DFT.
     for (size_t k = 0; k < n; ++k) {
-      cplx acc = 0.0;
-      for (size_t j = 0; j < n; ++j) acc += root(j * k * tw_step) * in[j * stride];
+      C acc = 0.0;
+      const size_t step = (k * tw_step) % n_;
+      size_t idx = 0;
+      for (size_t j = 0; j < n; ++j) {
+        acc += root_at(idx) * in[j * stride];
+        idx += step;
+        if (idx >= n_) idx -= n_;
+      }
       out[k] = acc;
     }
     return;
@@ -119,73 +145,149 @@ void Plan1D::recurse(size_t n, const cplx* in, size_t stride, cplx* out,
     recurse(m, in + j * stride, stride * r, out + j * m, tw_step * r, fwd);
 
   // Butterfly combine: X[q*m + k2] = sum_j w_n^{j(q*m+k2)} Y_j[k2].
-  cplx tmp[8];
+  C tmp[8];
   for (size_t k2 = 0; k2 < m; ++k2) {
     for (size_t q = 0; q < r; ++q) {
-      cplx acc = 0.0;
-      const size_t kk = q * m + k2;
-      for (size_t j = 0; j < r; ++j)
-        acc += root(j * kk * tw_step) * out[j * m + k2];
+      C acc = 0.0;
+      const size_t step = ((q * m + k2) * tw_step) % n_;
+      size_t idx = 0;
+      for (size_t j = 0; j < r; ++j) {
+        acc += root_at(idx) * out[j * m + k2];
+        idx += step;
+        if (idx >= n_) idx -= n_;
+      }
       tmp[q] = acc;
     }
     for (size_t q = 0; q < r; ++q) out[q * m + k2] = tmp[q];
   }
 }
 
-void Plan1D::forward_many(const cplx* in, cplx* out, size_t vlen) const {
+template <typename R>
+void Plan1DT<R>::forward_many(const C* in, C* out, size_t vlen) const {
   transform_many(in, out, vlen, true);
 }
 
-void Plan1D::inverse_unscaled_many(const cplx* in, cplx* out,
-                                   size_t vlen) const {
+template <typename R>
+void Plan1DT<R>::inverse_unscaled_many(const C* in, C* out, size_t vlen) const {
   transform_many(in, out, vlen, false);
 }
 
-void Plan1D::inverse_many(const cplx* in, cplx* out, size_t vlen) const {
+template <typename R>
+void Plan1DT<R>::inverse_many(const C* in, C* out, size_t vlen) const {
   transform_many(in, out, vlen, false);
-  const real_t inv = 1.0 / static_cast<real_t>(n_);
+  const R inv = R(1) / static_cast<R>(n_);
   for (size_t i = 0; i < n_ * vlen; ++i) out[i] *= inv;
 }
 
-void Plan1D::transform_many(const cplx* in, cplx* out, size_t vlen,
-                            bool fwd) const {
+// Interleaved-tile entry points: thin de/re-interleaving wrappers over the
+// split-plane engine (kept for callers that hold complex tiles; the 3-D
+// batch engine gathers into planes directly and skips this copy).
+template <typename R>
+void Plan1DT<R>::transform_many(const C* in, C* out, size_t vlen,
+                                bool fwd) const {
   PTIM_CHECK_MSG(vlen >= 1 && vlen <= kMaxTile,
                  "Plan1D: vlen outside [1, kMaxTile]");
+  PTIM_CHECK_MSG(in != out,
+                 "Plan1D: *_many transforms do not support in == out aliasing");
   if (n_ == 1) {
     std::copy(in, in + vlen, out);
     return;
   }
+  std::vector<R> ir(n_ * vlen), ii(n_ * vlen), wr(n_ * vlen), wi(n_ * vlen);
+  for (size_t i = 0; i < n_ * vlen; ++i) {
+    ir[i] = in[i].real();
+    ii[i] = in[i].imag();
+  }
+  transform_many_split(ir.data(), ii.data(), wr.data(), wi.data(), vlen, fwd);
+  for (size_t i = 0; i < n_ * vlen; ++i) out[i] = C(wr[i], wi[i]);
+}
+
+template <typename R>
+void Plan1DT<R>::forward_many_split(const R* in_re, const R* in_im, R* out_re,
+                                    R* out_im, size_t vlen) const {
+  transform_many_split(in_re, in_im, out_re, out_im, vlen, true);
+}
+
+template <typename R>
+void Plan1DT<R>::inverse_unscaled_many_split(const R* in_re, const R* in_im,
+                                             R* out_re, R* out_im,
+                                             size_t vlen) const {
+  transform_many_split(in_re, in_im, out_re, out_im, vlen, false);
+}
+
+template <typename R>
+void Plan1DT<R>::inverse_many_split(const R* in_re, const R* in_im, R* out_re,
+                                    R* out_im, size_t vlen) const {
+  transform_many_split(in_re, in_im, out_re, out_im, vlen, false);
+  const R inv = R(1) / static_cast<R>(n_);
+  for (size_t i = 0; i < n_ * vlen; ++i) {
+    out_re[i] *= inv;
+    out_im[i] *= inv;
+  }
+}
+
+template <typename R>
+void Plan1DT<R>::transform_many_split(const R* in_re, const R* in_im,
+                                      R* out_re, R* out_im, size_t vlen,
+                                      bool fwd) const {
+  PTIM_CHECK_MSG(vlen >= 1 && vlen <= kMaxTile,
+                 "Plan1D: vlen outside [1, kMaxTile]");
+  PTIM_CHECK_MSG(in_re != out_re && in_re != out_im && in_im != out_re &&
+                     in_im != out_im,
+                 "Plan1D: *_many transforms do not support aliased planes");
+  if (n_ == 1) {
+    std::copy(in_re, in_re + vlen, out_re);
+    std::copy(in_im, in_im + vlen, out_im);
+    return;
+  }
   if (use_bluestein_) {
     // Bluestein sizes never occur on FFT-friendly grids; keep the fallback
-    // simple: de-interleave each line and run the scalar chirp transform.
-    std::vector<cplx> line(n_), res(n_);
+    // simple: re-interleave each line and run the scalar chirp transform.
+    std::vector<C> line(n_), res(n_);
     for (size_t l = 0; l < vlen; ++l) {
-      for (size_t k = 0; k < n_; ++k) line[k] = in[k * vlen + l];
+      for (size_t k = 0; k < n_; ++k)
+        line[k] = C(in_re[k * vlen + l], in_im[k * vlen + l]);
       bluestein(line.data(), res.data(), fwd);
-      for (size_t k = 0; k < n_; ++k) out[k * vlen + l] = res[k];
+      for (size_t k = 0; k < n_; ++k) {
+        out_re[k * vlen + l] = res[k].real();
+        out_im[k * vlen + l] = res[k].imag();
+      }
     }
     return;
   }
-  recurse_many(n_, in, 1, out, 1, fwd, vlen);
+  recurse_many_split(n_, in_re, in_im, 1, out_re, out_im, 1, fwd, vlen);
 }
 
-// Vector analogue of recurse(): identical index algebra, but every twiddle
-// is materialized once and swept across the `vlen` contiguous line slots.
-void Plan1D::recurse_many(size_t n, const cplx* in, size_t stride, cplx* out,
-                          size_t tw_step, bool fwd, size_t vlen) const {
-  auto root = [&](size_t idx) -> cplx {
-    const cplx w = tw_[idx % n_];
-    return fwd ? w : std::conj(w);
-  };
-
+// Vector analogue of recurse() on split planes: identical index algebra,
+// but every twiddle is materialized once and swept across the `vlen`
+// contiguous line slots of both planes — plain fused multiply-add streams
+// with no interleaving, so the compiler vectorizes R-wide (float tiles run
+// twice the lanes of double). Twiddles advance by a fixed stride with one
+// modulo per row (the inner loops are division-free).
+template <typename R>
+void Plan1DT<R>::recurse_many_split(size_t n, const R* in_re, const R* in_im,
+                                    size_t stride, R* out_re, R* out_im,
+                                    size_t tw_step, bool fwd,
+                                    size_t vlen) const {
   if (n <= 7 || smallest_prime_factor(n) == n) {
     for (size_t k = 0; k < n; ++k) {
-      cplx* ok = out + k * vlen;
-      std::fill(ok, ok + vlen, cplx(0.0));
+      R* okr = out_re + k * vlen;
+      R* oki = out_im + k * vlen;
+      std::fill(okr, okr + vlen, R(0));
+      std::fill(oki, oki + vlen, R(0));
+      const size_t step = (k * tw_step) % n_;
+      size_t idx = 0;
       for (size_t j = 0; j < n; ++j) {
-        const cplx w = root(j * k * tw_step);
-        const cplx* ij = in + j * stride * vlen;
-        for (size_t l = 0; l < vlen; ++l) ok[l] += w * ij[l];
+        const R wr = tw_[idx].real();
+        const R wi = fwd ? tw_[idx].imag() : -tw_[idx].imag();
+        idx += step;
+        if (idx >= n_) idx -= n_;
+        const R* ijr = in_re + j * stride * vlen;
+        const R* iji = in_im + j * stride * vlen;
+        for (size_t l = 0; l < vlen; ++l) {
+          okr[l] += wr * ijr[l] - wi * iji[l];
+          oki[l] += wr * iji[l] + wi * ijr[l];
+        }
       }
     }
     return;
@@ -194,34 +296,47 @@ void Plan1D::recurse_many(size_t n, const cplx* in, size_t stride, cplx* out,
   const size_t r = smallest_prime_factor(n);
   const size_t m = n / r;
   for (size_t j = 0; j < r; ++j)
-    recurse_many(m, in + j * stride * vlen, stride * r, out + j * m * vlen,
-                 tw_step * r, fwd, vlen);
+    recurse_many_split(m, in_re + j * stride * vlen, in_im + j * stride * vlen,
+                       stride * r, out_re + j * m * vlen,
+                       out_im + j * m * vlen, tw_step * r, fwd, vlen);
 
-  cplx tmp[8 * kMaxTile];
+  R tmp_re[8 * kMaxTile], tmp_im[8 * kMaxTile];
   for (size_t k2 = 0; k2 < m; ++k2) {
     for (size_t q = 0; q < r; ++q) {
-      cplx* tq = tmp + q * vlen;
-      std::fill(tq, tq + vlen, cplx(0.0));
-      const size_t kk = q * m + k2;
+      R* tqr = tmp_re + q * vlen;
+      R* tqi = tmp_im + q * vlen;
+      std::fill(tqr, tqr + vlen, R(0));
+      std::fill(tqi, tqi + vlen, R(0));
+      const size_t step = ((q * m + k2) * tw_step) % n_;
+      size_t idx = 0;
       for (size_t j = 0; j < r; ++j) {
-        const cplx w = root(j * kk * tw_step);
-        const cplx* yj = out + (j * m + k2) * vlen;
-        for (size_t l = 0; l < vlen; ++l) tq[l] += w * yj[l];
+        const R wr = tw_[idx].real();
+        const R wi = fwd ? tw_[idx].imag() : -tw_[idx].imag();
+        idx += step;
+        if (idx >= n_) idx -= n_;
+        const R* yjr = out_re + (j * m + k2) * vlen;
+        const R* yji = out_im + (j * m + k2) * vlen;
+        for (size_t l = 0; l < vlen; ++l) {
+          tqr[l] += wr * yjr[l] - wi * yji[l];
+          tqi[l] += wr * yji[l] + wi * yjr[l];
+        }
       }
     }
     for (size_t q = 0; q < r; ++q) {
-      cplx* oq = out + (q * m + k2) * vlen;
-      const cplx* tq = tmp + q * vlen;
-      std::copy(tq, tq + vlen, oq);
+      std::copy(tmp_re + q * vlen, tmp_re + (q + 1) * vlen,
+                out_re + (q * m + k2) * vlen);
+      std::copy(tmp_im + q * vlen, tmp_im + (q + 1) * vlen,
+                out_im + (q * m + k2) * vlen);
     }
   }
 }
 
-void Plan1D::bluestein(const cplx* in, cplx* out, bool fwd) const {
+template <typename R>
+void Plan1DT<R>::bluestein(const C* in, C* out, bool fwd) const {
   const size_t n = n_;
-  std::vector<cplx> a(m_, cplx(0.0)), afft(m_);
+  std::vector<C> a(m_, C(0.0)), afft(m_);
   for (size_t k = 0; k < n; ++k) {
-    const cplx c = fwd ? chirp_[k] : std::conj(chirp_[k]);
+    const C c = fwd ? chirp_[k] : std::conj(chirp_[k]);
     a[k] = in[k] * c;
   }
   conv_plan_->forward(a.data(), afft.data());
@@ -236,45 +351,52 @@ void Plan1D::bluestein(const cplx* in, cplx* out, bool fwd) const {
   }
   conv_plan_->inverse(afft.data(), a.data());
   for (size_t k = 0; k < n; ++k) {
-    const cplx c = fwd ? chirp_[k] : std::conj(chirp_[k]);
+    const C c = fwd ? chirp_[k] : std::conj(chirp_[k]);
     out[k] = a[k] * c;
   }
 }
 
-Fft3::Fft3(size_t n0, size_t n1, size_t n2)
+template <typename R>
+Fft3T<R>::Fft3T(size_t n0, size_t n1, size_t n2)
     : n0_(n0), n1_(n1), n2_(n2), p0_(n0), p1_(n1), p2_(n2) {}
 
-void Fft3::forward_batch(cplx* data, size_t nbatch) const {
+template <typename R>
+void Fft3T<R>::forward_batch(C* data, size_t nbatch) const {
   if (nbatch == 0) return;
   transform_batch(data, nbatch, Dir::kForward);
 }
 
-void Fft3::inverse_batch(cplx* data, size_t nbatch) const {
+template <typename R>
+void Fft3T<R>::inverse_batch(C* data, size_t nbatch) const {
   if (nbatch == 0) return;
   transform_batch(data, nbatch, Dir::kInverse);
-  const real_t s = 1.0 / static_cast<real_t>(size());
+  const R s = R(1) / static_cast<R>(size());
   const size_t total = nbatch * size();
 #pragma omp parallel for schedule(static)
   for (size_t i = 0; i < total; ++i) data[i] *= s;
 }
 
 // All three axis passes of the whole batch run inside one parallel region:
-// lines are gathered in tiles of kMaxTile into element-major scratch, pushed
-// through the vector 1-D transforms (twiddles amortized over the tile), and
-// scattered back. Consecutive line indices are chosen so that tile gathers
-// walk memory contiguously on the strided axes.
-void Fft3::transform_batch(cplx* data, size_t nbatch, Dir dir) const {
+// lines are gathered in tiles of kMaxTile into element-major SPLIT-PLANE
+// scratch (the de-interleave rides along with the gather for free), pushed
+// through the split vector 1-D transforms (twiddles amortized over the
+// tile, R-wide vectorization over the lanes), and scattered back.
+// Consecutive line indices are chosen so that tile gathers walk memory
+// contiguously on the strided axes.
+template <typename R>
+void Fft3T<R>::transform_batch(C* data, size_t nbatch, Dir dir) const {
   const bool fwd = dir == Dir::kForward;
   const size_t ng = size();
   const size_t plane = n0_ * n1_;
-  constexpr size_t kTile = Plan1D::kMaxTile;
+  constexpr size_t kTile = Plan1DT<R>::kMaxTile;
   const size_t nmax = std::max(n0_, std::max(n1_, n2_));
 
 #pragma omp parallel
   {
-    std::vector<cplx> tile(kTile * nmax), tout(kTile * nmax);
+    std::vector<R> tile_re(kTile * nmax), tile_im(kTile * nmax),
+        tout_re(kTile * nmax), tout_im(kTile * nmax);
 
-    auto run_axis = [&](const Plan1D& p, size_t n, size_t count,
+    auto run_axis = [&](const Plan1DT<R>& p, size_t n, size_t count,
                         auto line_start, size_t stride) {
       const size_t ngroups = (count + kTile - 1) / kTile;
 #pragma omp for schedule(static)
@@ -282,16 +404,22 @@ void Fft3::transform_batch(cplx* data, size_t nbatch, Dir dir) const {
         const size_t q0 = g * kTile;
         const size_t v = std::min(kTile, count - q0);
         for (size_t l = 0; l < v; ++l) {
-          const cplx* src = data + line_start(q0 + l);
-          for (size_t k = 0; k < n; ++k) tile[k * v + l] = src[k * stride];
+          const C* src = data + line_start(q0 + l);
+          for (size_t k = 0; k < n; ++k) {
+            tile_re[k * v + l] = src[k * stride].real();
+            tile_im[k * v + l] = src[k * stride].imag();
+          }
         }
         if (fwd)
-          p.forward_many(tile.data(), tout.data(), v);
+          p.forward_many_split(tile_re.data(), tile_im.data(), tout_re.data(),
+                               tout_im.data(), v);
         else
-          p.inverse_unscaled_many(tile.data(), tout.data(), v);
+          p.inverse_unscaled_many_split(tile_re.data(), tile_im.data(),
+                                        tout_re.data(), tout_im.data(), v);
         for (size_t l = 0; l < v; ++l) {
-          cplx* dst = data + line_start(q0 + l);
-          for (size_t k = 0; k < n; ++k) dst[k * stride] = tout[k * v + l];
+          C* dst = data + line_start(q0 + l);
+          for (size_t k = 0; k < n; ++k)
+            dst[k * stride] = C(tout_re[k * v + l], tout_im[k * v + l]);
         }
       }
     };
@@ -320,18 +448,23 @@ void Fft3::transform_batch(cplx* data, size_t nbatch, Dir dir) const {
   }
 }
 
-void Fft3::forward(cplx* data) const { transform(data, Dir::kForward); }
+template <typename R>
+void Fft3T<R>::forward(C* data) const {
+  transform(data, Dir::kForward);
+}
 
-void Fft3::inverse(cplx* data) const {
+template <typename R>
+void Fft3T<R>::inverse(C* data) const {
   transform(data, Dir::kInverse);
-  const real_t s = 1.0 / static_cast<real_t>(size());
+  const R s = R(1) / static_cast<R>(size());
   const size_t ng = size();
   for (size_t i = 0; i < ng; ++i) data[i] *= s;
 }
 
-void Fft3::transform(cplx* data, Dir dir) const {
+template <typename R>
+void Fft3T<R>::transform(C* data, Dir dir) const {
   const bool fwd = dir == Dir::kForward;
-  auto run1d = [&](const Plan1D& p, const cplx* in, cplx* out) {
+  auto run1d = [&](const Plan1DT<R>& p, const C* in, C* out) {
     if (fwd)
       p.forward(in, out);
     else
@@ -341,8 +474,8 @@ void Fft3::transform(cplx* data, Dir dir) const {
   // Axis 0: contiguous lines.
 #pragma omp parallel for schedule(static)
   for (size_t l = 0; l < n1_ * n2_; ++l) {
-    std::vector<cplx> buf(n0_);
-    cplx* line = data + l * n0_;
+    std::vector<C> buf(n0_);
+    C* line = data + l * n0_;
     run1d(p0_, line, buf.data());
     std::copy(buf.begin(), buf.end(), line);
   }
@@ -351,8 +484,8 @@ void Fft3::transform(cplx* data, Dir dir) const {
 #pragma omp parallel for schedule(static) collapse(2)
   for (size_t i2 = 0; i2 < n2_; ++i2) {
     for (size_t i0 = 0; i0 < n0_; ++i0) {
-      std::vector<cplx> gather(n1_), buf(n1_);
-      cplx* base = data + i0 + i2 * n0_ * n1_;
+      std::vector<C> gather(n1_), buf(n1_);
+      C* base = data + i0 + i2 * n0_ * n1_;
       for (size_t i1 = 0; i1 < n1_; ++i1) gather[i1] = base[i1 * n0_];
       run1d(p1_, gather.data(), buf.data());
       for (size_t i1 = 0; i1 < n1_; ++i1) base[i1 * n0_] = buf[i1];
@@ -363,12 +496,17 @@ void Fft3::transform(cplx* data, Dir dir) const {
   const size_t plane = n0_ * n1_;
 #pragma omp parallel for schedule(static)
   for (size_t l = 0; l < plane; ++l) {
-    std::vector<cplx> gather(n2_), buf(n2_);
-    cplx* base = data + l;
+    std::vector<C> gather(n2_), buf(n2_);
+    C* base = data + l;
     for (size_t i2 = 0; i2 < n2_; ++i2) gather[i2] = base[i2 * plane];
     run1d(p2_, gather.data(), buf.data());
     for (size_t i2 = 0; i2 < n2_; ++i2) base[i2 * plane] = buf[i2];
   }
 }
+
+template class Plan1DT<float>;
+template class Plan1DT<double>;
+template class Fft3T<float>;
+template class Fft3T<double>;
 
 }  // namespace ptim::fft

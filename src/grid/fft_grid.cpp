@@ -5,12 +5,15 @@
 namespace ptim::grid {
 
 FftGrid::FftGrid(const Lattice& lattice, std::array<size_t, 3> dims)
-    : lattice_(&lattice), dims_(dims), fft_(dims[0], dims[1], dims[2]) {
+    : lattice_(&lattice),
+      dims_(dims),
+      fft_(dims[0], dims[1], dims[2]),
+      fft_f32_(dims[0], dims[1], dims[2]) {
+  // Non-{2,3,5,7} dims are legal (Plan1D falls back to Bluestein's chirp-z)
+  // but slower; production grids should come from GSphere::suggest_dims.
   for (int d = 0; d < 3; ++d)
-    PTIM_CHECK_MSG(fft::fft_size_ok(dims_[static_cast<size_t>(d)]),
-                   "FftGrid: dim " << d << " = "
-                                   << dims_[static_cast<size_t>(d)]
-                                   << " is not FFT-friendly");
+    PTIM_CHECK_MSG(dims_[static_cast<size_t>(d)] >= 1,
+                   "FftGrid: dim " << d << " must be positive");
   g2_.resize(size());
   for (size_t i = 0; i < size(); ++i) g2_[i] = norm2(gvec(i));
 }

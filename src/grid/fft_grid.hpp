@@ -64,11 +64,15 @@ class FftGrid {
   real_t dvol() const { return lattice_->volume() / static_cast<real_t>(size()); }
 
   const fft::Fft3& fft() const { return fft_; }
+  // FP32 twin of the same box, used by the reduced-precision exchange
+  // pipeline (tables only — construction cost is negligible).
+  const fft::Fft3f& fft_f32() const { return fft_f32_; }
 
  private:
   const Lattice* lattice_;
   std::array<size_t, 3> dims_;
   fft::Fft3 fft_;
+  fft::Fft3f fft_f32_;
   std::vector<real_t> g2_;
 };
 

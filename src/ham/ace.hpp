@@ -26,8 +26,10 @@ class AceOperator {
 
   // One-stop builder on the exchange hot path: computes W = (alpha Vx) Phi
   // through xop.apply_diag — i.e. in blocks of ExchangeOptions::batch_size
-  // through the batched FFT engine — then compresses. When w_out is given
-  // it receives W (callers reuse it for the Fock energy estimate).
+  // through the batched FFT engine, at the operator's configured Precision
+  // (the FP32 policy applies to the pair FFTs inside this build; the
+  // Cholesky compression and xi stay FP64). When w_out is given it
+  // receives W (callers reuse it for the Fock energy estimate).
   static AceOperator build_diag(const ExchangeOperator& xop,
                                 const la::MatC& phi,
                                 const std::vector<real_t>& occ,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
@@ -9,6 +10,19 @@
 #include "la/eig.hpp"
 
 namespace ptim::ham {
+
+namespace {
+
+// Kahan-compensated FP64 add: acc[r] += term with running compensation.
+// Complex add/sub are componentwise, so the classic scheme carries over.
+inline void kahan_add(cplx& acc, cplx& comp, const cplx& term) {
+  const cplx y = term - comp;
+  const cplx t = acc + y;
+  comp = (t - acc) - y;
+  acc = t;
+}
+
+}  // namespace
 
 ExchangeOperator::ExchangeOperator(const pw::SphereGridMap& wfc_map,
                                    ExchangeOptions opt)
@@ -35,6 +49,11 @@ ExchangeOperator::ExchangeOperator(const pw::SphereGridMap& wfc_map,
       }
     }
   }
+  // FP32 twin, rounded once from the FP64 table — kept regardless of the
+  // initial precision so set_precision can toggle modes without a rebuild.
+  kernelf_.resize(kernel_.size());
+  for (size_t i = 0; i < kernel_.size(); ++i)
+    kernelf_[i] = static_cast<realf_t>(kernel_[i]);
 }
 
 // Core pair loop shared by the diag paths. src_real holds source orbitals
@@ -42,10 +61,22 @@ ExchangeOperator::ExchangeOperator(const pw::SphereGridMap& wfc_map,
 //   acc_j(r) = sum_i d_i phi_i(r) * IFFT[ K(G) FFT[ conj(phi_i) psi_j ] ](r)
 // and return -alpha * acc_j gathered to the sphere. Zero-occupation sources
 // are compressed away, then the work is dispatched to the per-pair baseline
-// or the batched-FFT hot path depending on ExchangeOptions::batch_size.
+// or the batched-FFT hot path depending on ExchangeOptions::batch_size, and
+// to the FP32 pipeline when the precision policy asks for it.
 void ExchangeOperator::pair_accumulate(const cplx* src_real, size_t nsrc,
                                        const real_t* d, const la::MatC& tgt,
                                        la::MatC& out, bool accumulate) const {
+  if (opt_.precision != Precision::kDouble) {
+    // Down-convert the sources once at the edge; everything downstream of
+    // this point runs the float pair pipeline.
+    const size_t ng = map_->grid().size();
+    std::vector<cplxf> srcf(nsrc * ng);
+#pragma omp parallel for schedule(static)
+    for (size_t i = 0; i < nsrc * ng; ++i)
+      srcf[i] = static_cast<cplxf>(src_real[i]);
+    pair_accumulate_f32(srcf.data(), nsrc, d, tgt, out, accumulate);
+    return;
+  }
   if (!accumulate) out.fill(cplx(0.0));
   PTIM_CHECK(out.rows() == tgt.rows() && out.cols() == tgt.cols());
 
@@ -58,7 +89,23 @@ void ExchangeOperator::pair_accumulate(const cplx* src_real, size_t nsrc,
   if (opt_.batch_size <= 1)
     pair_accumulate_single(src_real, d, active, tgt, out);
   else
-    pair_accumulate_batched(src_real, d, active, tgt, out);
+    pair_accumulate_blocks(src_real, d, active, tgt, out);
+}
+
+void ExchangeOperator::pair_accumulate_f32(const cplxf* src_real, size_t nsrc,
+                                           const real_t* d, const la::MatC& tgt,
+                                           la::MatC& out,
+                                           bool accumulate) const {
+  if (!accumulate) out.fill(cplx(0.0));
+  PTIM_CHECK(out.rows() == tgt.rows() && out.cols() == tgt.cols());
+
+  std::vector<size_t> active;
+  active.reserve(nsrc);
+  for (size_t i = 0; i < nsrc; ++i)
+    if (d[i] != 0.0) active.push_back(i);
+  if (active.empty()) return;
+
+  pair_accumulate_blocks(src_real, d, active, tgt, out);
 }
 
 void ExchangeOperator::pair_accumulate_single(
@@ -106,18 +153,42 @@ void ExchangeOperator::kernel_filter_block(cplx* block, size_t nb) const {
   fft_count += static_cast<long>(2 * nb);
 }
 
-void ExchangeOperator::pair_accumulate_batched(
-    const cplx* src_real, const real_t* d, const std::vector<size_t>& active,
-    const la::MatC& tgt, la::MatC& out) const {
+void ExchangeOperator::kernel_filter_block(cplxf* block, size_t nb) const {
+  const size_t ng = map_->grid().size();
+  const auto& fft3 = map_->grid().fft_f32();
+  const realf_t inv_ng = 1.0f / static_cast<realf_t>(ng);
+  fft3.forward_batch(block, nb);
+#pragma omp parallel for schedule(static) collapse(2)
+  for (size_t i = 0; i < nb; ++i)
+    for (size_t r = 0; r < ng; ++r) block[i * ng + r] *= kernelf_[r] * inv_ng;
+  fft3.inverse_batch(block, nb);
+  fft_count += static_cast<long>(2 * nb);
+}
+
+// Shared batched block engine for the diag paths, templated over the slab
+// scalar: CS = cplx runs the FP64 pipeline, CS = cplxf the FP32 one (pair
+// forming, FFTs and kernel filter in single precision; every float product
+// is promoted to FP64 exactly once inside the accumulation, which runs
+// plain or Kahan-compensated depending on the policy). batch_size == 1
+// degenerates to width-1 blocks, preserving the per-pair transform count.
+template <typename CS>
+void ExchangeOperator::pair_accumulate_blocks(const CS* src_real,
+                                              const real_t* d,
+                                              const std::vector<size_t>& active,
+                                              const la::MatC& tgt,
+                                              la::MatC& out) const {
   const size_t ng = map_->grid().size();
   const size_t ntgt = tgt.cols();
-  const size_t bs = opt_.batch_size;
+  const size_t bs = std::max<size_t>(1, opt_.batch_size);
+  const bool compensated = std::is_same_v<CS, cplxf> &&
+                           opt_.precision == Precision::kSingleCompensated;
 
-  std::vector<cplx> tgt_real(ng), acc(ng), gathered(tgt.rows());
-  std::vector<cplx> block(bs * ng);
+  std::vector<CS> tgt_real(ng), block(bs * ng);
+  std::vector<cplx> acc(ng), comp(compensated ? ng : 0), gathered(tgt.rows());
   for (size_t j = 0; j < ntgt; ++j) {
     map_->to_real(tgt.col(j), tgt_real.data());
     std::fill(acc.begin(), acc.end(), cplx(0.0));
+    std::fill(comp.begin(), comp.end(), cplx(0.0));
     for (size_t i0 = 0; i0 < active.size(); i0 += bs) {
       const size_t nb = std::min(bs, active.size() - i0);
       // Pair densities for the whole block, one fused parallel region.
@@ -131,14 +202,122 @@ void ExchangeOperator::pair_accumulate_batched(
       // acc[] updates never race.
 #pragma omp parallel for schedule(static)
       for (size_t r = 0; r < ng; ++r) {
-        cplx a = acc[r];
         for (size_t i = 0; i < nb; ++i) {
           const size_t s = active[i0 + i];
           // Undo the inverse-FFT 1/Ng scaling (unscaled synthesis wanted).
-          a += (d[s] * static_cast<real_t>(ng)) * src_real[s * ng + r] *
-               block[i * ng + r];
+          const cplx term = (d[s] * static_cast<real_t>(ng)) *
+                            static_cast<cplx>(src_real[s * ng + r]) *
+                            static_cast<cplx>(block[i * ng + r]);
+          if (compensated)
+            kahan_add(acc[r], comp[r], term);
+          else
+            acc[r] += term;
         }
-        acc[r] = a;
+      }
+    }
+    map_->to_sphere(acc.data(), gathered.data());
+    cplx* oj = out.col(j);
+    const real_t a = -opt_.alpha;
+    for (size_t p = 0; p < tgt.rows(); ++p) oj[p] += a * gathered[p];
+  }
+}
+
+// Weighted-pair analogue of pair_accumulate_blocks (scalar occupation d_k
+// replaced by the real-space weight field w_k), same CS convention.
+template <typename CS>
+void ExchangeOperator::weighted_blocks(const CS* src_real,
+                                       const CS* weight_real, size_t nsrc,
+                                       const la::MatC& tgt,
+                                       la::MatC& out) const {
+  const size_t ng = map_->grid().size();
+  const size_t ntgt = tgt.cols();
+  const size_t bs = std::max<size_t>(1, opt_.batch_size);
+  const bool compensated = std::is_same_v<CS, cplxf> &&
+                           opt_.precision == Precision::kSingleCompensated;
+
+  std::vector<CS> tgt_real(ng), block(bs * ng);
+  std::vector<cplx> acc(ng), comp(compensated ? ng : 0), gathered(tgt.rows());
+  for (size_t j = 0; j < ntgt; ++j) {
+    map_->to_real(tgt.col(j), tgt_real.data());
+    std::fill(acc.begin(), acc.end(), cplx(0.0));
+    std::fill(comp.begin(), comp.end(), cplx(0.0));
+    for (size_t i0 = 0; i0 < nsrc; i0 += bs) {
+      const size_t nb = std::min(bs, nsrc - i0);
+#pragma omp parallel for schedule(static) collapse(2)
+      for (size_t i = 0; i < nb; ++i)
+        for (size_t r = 0; r < ng; ++r)
+          block[i * ng + r] =
+              std::conj(src_real[(i0 + i) * ng + r]) * tgt_real[r];
+      kernel_filter_block(block.data(), nb);
+#pragma omp parallel for schedule(static)
+      for (size_t r = 0; r < ng; ++r) {
+        for (size_t i = 0; i < nb; ++i) {
+          // Undo the inverse-FFT 1/Ng scaling (unscaled synthesis wanted).
+          const cplx term = static_cast<real_t>(ng) *
+                            static_cast<cplx>(weight_real[(i0 + i) * ng + r]) *
+                            static_cast<cplx>(block[i * ng + r]);
+          if (compensated)
+            kahan_add(acc[r], comp[r], term);
+          else
+            acc[r] += term;
+        }
+      }
+    }
+    map_->to_sphere(acc.data(), gathered.data());
+    cplx* oj = out.col(j);
+    const real_t a = -opt_.alpha;
+    for (size_t p = 0; p < tgt.rows(); ++p) oj[p] += a * gathered[p];
+  }
+}
+
+// Alg. 2 verbatim with the pair FFT inside the i loop on purpose — this
+// reproduces the baseline's N^3 transform count (see DESIGN.md). With
+// batch_size > 1 the i loop is blocked: each block member transforms its
+// own (redundant) copy of the pair density, preserving the count while
+// going through the batched FFT engine. Same CS convention as above.
+template <typename CS>
+void ExchangeOperator::mixed_naive_blocks(const la::Matrix<CS>& src_real,
+                                          const la::MatC& sigma,
+                                          const la::MatC& tgt,
+                                          la::MatC& out) const {
+  const size_t ng = map_->grid().size();
+  const size_t nsrc = src_real.cols();
+  const size_t bs = std::max<size_t>(1, opt_.batch_size);
+  const bool compensated = std::is_same_v<CS, cplxf> &&
+                           opt_.precision == Precision::kSingleCompensated;
+
+  std::vector<CS> tgt_real(ng), block(bs * ng);
+  std::vector<cplx> acc(ng), comp(compensated ? ng : 0), gathered(tgt.rows());
+  for (size_t j = 0; j < tgt.cols(); ++j) {
+    map_->to_real(tgt.col(j), tgt_real.data());
+    std::fill(acc.begin(), acc.end(), cplx(0.0));
+    std::fill(comp.begin(), comp.end(), cplx(0.0));
+    for (size_t k = 0; k < nsrc; ++k) {
+      const CS* sk = src_real.col(k);
+      std::vector<size_t> active;
+      active.reserve(nsrc);
+      for (size_t i = 0; i < nsrc; ++i)
+        if (sigma(i, k) != cplx(0.0)) active.push_back(i);
+      for (size_t i0 = 0; i0 < active.size(); i0 += bs) {
+        const size_t nb = std::min(bs, active.size() - i0);
+#pragma omp parallel for schedule(static) collapse(2)
+        for (size_t i = 0; i < nb; ++i)
+          for (size_t r = 0; r < ng; ++r)
+            block[i * ng + r] = std::conj(sk[r]) * tgt_real[r];
+        kernel_filter_block(block.data(), nb);
+#pragma omp parallel for schedule(static)
+        for (size_t r = 0; r < ng; ++r) {
+          for (size_t i = 0; i < nb; ++i) {
+            const cplx w = sigma(active[i0 + i], k) * static_cast<real_t>(ng);
+            const cplx term =
+                w * static_cast<cplx>(src_real.col(active[i0 + i])[r]) *
+                static_cast<cplx>(block[i * ng + r]);
+            if (compensated)
+              kahan_add(acc[r], comp[r], term);
+            else
+              acc[r] += term;
+          }
+        }
       }
     }
     map_->to_sphere(acc.data(), gathered.data());
@@ -154,42 +333,34 @@ void ExchangeOperator::apply_weighted_realspace(const cplx* src_real,
                                                 const la::MatC& tgt,
                                                 la::MatC& out,
                                                 bool accumulate) const {
+  if (opt_.precision != Precision::kDouble) {
+    const size_t ng = map_->grid().size();
+    std::vector<cplxf> srcf(nsrc * ng), wf(nsrc * ng);
+#pragma omp parallel for schedule(static)
+    for (size_t i = 0; i < nsrc * ng; ++i) {
+      srcf[i] = static_cast<cplxf>(src_real[i]);
+      wf[i] = static_cast<cplxf>(weight_real[i]);
+    }
+    apply_weighted_realspace(srcf.data(), wf.data(), nsrc, tgt, out,
+                             accumulate);
+    return;
+  }
   if (!accumulate) out.fill(cplx(0.0));
   PTIM_CHECK(out.rows() == tgt.rows() && out.cols() == tgt.cols());
   if (nsrc == 0) return;
+  weighted_blocks(src_real, weight_real, nsrc, tgt, out);
+}
 
-  const size_t ng = map_->grid().size();
-  const size_t ntgt = tgt.cols();
-  const size_t bs = std::max<size_t>(1, opt_.batch_size);
-
-  std::vector<cplx> tgt_real(ng), acc(ng), gathered(tgt.rows());
-  std::vector<cplx> block(bs * ng);
-  for (size_t j = 0; j < ntgt; ++j) {
-    map_->to_real(tgt.col(j), tgt_real.data());
-    std::fill(acc.begin(), acc.end(), cplx(0.0));
-    for (size_t i0 = 0; i0 < nsrc; i0 += bs) {
-      const size_t nb = std::min(bs, nsrc - i0);
-#pragma omp parallel for schedule(static) collapse(2)
-      for (size_t i = 0; i < nb; ++i)
-        for (size_t r = 0; r < ng; ++r)
-          block[i * ng + r] =
-              std::conj(src_real[(i0 + i) * ng + r]) * tgt_real[r];
-      kernel_filter_block(block.data(), nb);
-#pragma omp parallel for schedule(static)
-      for (size_t r = 0; r < ng; ++r) {
-        cplx a = acc[r];
-        for (size_t i = 0; i < nb; ++i)
-          // Undo the inverse-FFT 1/Ng scaling (unscaled synthesis wanted).
-          a += static_cast<real_t>(ng) * weight_real[(i0 + i) * ng + r] *
-               block[i * ng + r];
-        acc[r] = a;
-      }
-    }
-    map_->to_sphere(acc.data(), gathered.data());
-    cplx* oj = out.col(j);
-    const real_t a = -opt_.alpha;
-    for (size_t p = 0; p < tgt.rows(); ++p) oj[p] += a * gathered[p];
-  }
+void ExchangeOperator::apply_weighted_realspace(const cplxf* src_real,
+                                                const cplxf* weight_real,
+                                                size_t nsrc,
+                                                const la::MatC& tgt,
+                                                la::MatC& out,
+                                                bool accumulate) const {
+  if (!accumulate) out.fill(cplx(0.0));
+  PTIM_CHECK(out.rows() == tgt.rows() && out.cols() == tgt.cols());
+  if (nsrc == 0) return;
+  weighted_blocks(src_real, weight_real, nsrc, tgt, out);
 }
 
 void ExchangeOperator::apply_diag(const la::MatC& src,
@@ -198,6 +369,14 @@ void ExchangeOperator::apply_diag(const la::MatC& src,
                                   bool accumulate) const {
   ScopedTimer t("exchange.diag");
   PTIM_CHECK(d.size() == src.cols());
+  if (opt_.precision != Precision::kDouble) {
+    // Sources go straight to FP32 real space (down-convert at the edge).
+    la::MatCf src_real;
+    map_->to_real_batch(src, src_real);
+    pair_accumulate_f32(src_real.data(), src_real.cols(), d.data(), tgt, out,
+                        accumulate);
+    return;
+  }
   la::MatC src_real;
   map_->to_real_batch(src, src_real);
   pair_accumulate(src_real.data(), src_real.cols(), d.data(), tgt, out,
@@ -211,53 +390,17 @@ void ExchangeOperator::apply_mixed_naive(const la::MatC& src,
   ScopedTimer t("exchange.naive");
   const size_t nsrc = src.cols();
   PTIM_CHECK(sigma.rows() == nsrc && sigma.cols() == nsrc);
-  const size_t ng = map_->grid().size();
+  if (!accumulate) out.fill(cplx(0.0));
 
+  if (opt_.precision != Precision::kDouble) {
+    la::MatCf src_real;
+    map_->to_real_batch(src, src_real);
+    mixed_naive_blocks(src_real, sigma, tgt, out);
+    return;
+  }
   la::MatC src_real;
   map_->to_real_batch(src, src_real);
-
-  if (!accumulate) out.fill(cplx(0.0));
-  const size_t bs = std::max<size_t>(1, opt_.batch_size);
-  std::vector<cplx> tgt_real(ng), acc(ng), gathered(tgt.rows());
-  std::vector<cplx> block(bs * ng);
-
-  // Alg. 2 verbatim: the pair FFT sits inside the i loop on purpose — this
-  // reproduces the baseline's N^3 transform count (see DESIGN.md). With
-  // batch_size > 1 the i loop is blocked: each block member transforms its
-  // own (redundant) copy of the pair density, preserving the count while
-  // going through the batched FFT engine.
-  for (size_t j = 0; j < tgt.cols(); ++j) {
-    map_->to_real(tgt.col(j), tgt_real.data());
-    std::fill(acc.begin(), acc.end(), cplx(0.0));
-    for (size_t k = 0; k < nsrc; ++k) {
-      const cplx* sk = src_real.col(k);
-      std::vector<size_t> active;
-      active.reserve(nsrc);
-      for (size_t i = 0; i < nsrc; ++i)
-        if (sigma(i, k) != cplx(0.0)) active.push_back(i);
-      for (size_t i0 = 0; i0 < active.size(); i0 += bs) {
-        const size_t nb = std::min(bs, active.size() - i0);
-#pragma omp parallel for schedule(static) collapse(2)
-        for (size_t i = 0; i < nb; ++i)
-          for (size_t r = 0; r < ng; ++r)
-            block[i * ng + r] = std::conj(sk[r]) * tgt_real[r];
-        kernel_filter_block(block.data(), nb);
-#pragma omp parallel for schedule(static)
-        for (size_t r = 0; r < ng; ++r) {
-          cplx a = acc[r];
-          for (size_t i = 0; i < nb; ++i) {
-            const cplx w = sigma(active[i0 + i], k) * static_cast<real_t>(ng);
-            a += w * src_real.col(active[i0 + i])[r] * block[i * ng + r];
-          }
-          acc[r] = a;
-        }
-      }
-    }
-    map_->to_sphere(acc.data(), gathered.data());
-    cplx* oj = out.col(j);
-    const real_t a = -opt_.alpha;
-    for (size_t p = 0; p < tgt.rows(); ++p) oj[p] += a * gathered[p];
-  }
+  mixed_naive_blocks(src_real, sigma, tgt, out);
 }
 
 void ExchangeOperator::apply_mixed_diag(const la::MatC& src,
@@ -267,7 +410,9 @@ void ExchangeOperator::apply_mixed_diag(const la::MatC& src,
   ScopedTimer t("exchange.mixed_diag");
   const size_t nsrc = src.cols();
   PTIM_CHECK(sigma.rows() == nsrc && sigma.cols() == nsrc);
-  // sigma = Q D Q^H (Hermitian by construction in PT-IM).
+  // sigma = Q D Q^H (Hermitian by construction in PT-IM). The
+  // diagonalization and rotation stay FP64 in every precision mode — only
+  // the pair pipeline inside apply_diag narrows.
   const auto eig = la::eig_herm(sigma);
   la::MatC rotated(src.rows(), nsrc);
   la::gemm_nn(src, eig.V, rotated);

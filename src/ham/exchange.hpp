@@ -16,6 +16,15 @@
 //                        phi' = Phi Q, then apply_diag (Sec. IV-A1).
 // All produce identical results (tests enforce agreement to 1e-12).
 //
+// Precision policy (ExchangeOptions::precision): with Precision::kSingle*
+// the pair densities, their FFTs and the kernel multiply run in FP32 —
+// sources and targets are down-converted once at the real-space edge — while
+// the per-grid-point accumulation of the exchange contribution and the final
+// gather back to the sphere stay in FP64 (Kahan-compensated under
+// kSingleCompensated). The same policy makes the distributed ring circulate
+// FP32 slabs (half the bytes); see dist/exchange_dist. The propagated
+// trajectory is always FP64.
+//
 // The mixing fraction alpha is folded into the returned operator so callers
 // always see  out (+)= alpha * Vx[P] * targets.
 
@@ -36,6 +45,8 @@ struct ExchangeOptions {
   // Fft3::forward_batch/inverse_batch; 1 selects the original per-pair
   // path (one FFT at a time), kept as the ablation baseline.
   size_t batch_size = 8;
+  // Scalar type of the pair-FFT hot path and ring payloads (see above).
+  Precision precision = Precision::kDouble;
 };
 
 class ExchangeOperator {
@@ -44,6 +55,11 @@ class ExchangeOperator {
 
   const ExchangeOptions& options() const { return opt_; }
   const std::vector<real_t>& kernel() const { return kernel_; }
+
+  // Switch the pair-FFT precision in place (both kernel tables are always
+  // built); benches/tests sweep modes on one operator this way.
+  void set_precision(Precision p) { opt_.precision = p; }
+  Precision precision() const { return opt_.precision; }
 
   // out (+)= alpha*Vx*tgt with sources (src, d). src/tgt/out: npw x nband.
   void apply_diag(const la::MatC& src, const std::vector<real_t>& d,
@@ -80,6 +96,14 @@ class ExchangeOperator {
                             la::MatC& out, bool accumulate) const {
     pair_accumulate(src_real, nsrc, d, tgt, out, accumulate);
   }
+  // FP32-slab variant: the sources arrive as single-precision real-space
+  // orbitals (the distributed ring's halved payload) and feed the FP32 pair
+  // kernel directly — no intermediate up-conversion.
+  void apply_diag_realspace(const cplxf* src_real, size_t nsrc,
+                            const real_t* d, const la::MatC& tgt,
+                            la::MatC& out, bool accumulate) const {
+    pair_accumulate_f32(src_real, nsrc, d, tgt, out, accumulate);
+  }
 
   // Generalized pair accumulation for the distributed mixed-state (full
   // sigma) path: the scalar occupation d_k is replaced by a real-space
@@ -91,6 +115,11 @@ class ExchangeOperator {
   void apply_weighted_realspace(const cplx* src_real, const cplx* weight_real,
                                 size_t nsrc, const la::MatC& tgt, la::MatC& out,
                                 bool accumulate) const;
+  // FP32-slab variant (distributed ring payloads in single precision).
+  void apply_weighted_realspace(const cplxf* src_real,
+                                const cplxf* weight_real, size_t nsrc,
+                                const la::MatC& tgt, la::MatC& out,
+                                bool accumulate) const;
 
   // Real-space transform helper for the distributed paths.
   const pw::SphereGridMap& map() const { return *map_; }
@@ -101,7 +130,7 @@ class ExchangeOperator {
   real_t energy_mixed(const la::MatC& src, const la::MatC& sigma) const;
 
   // FFT count bookkeeping (reset per bench) — validates the paper's
-  // N^3 -> N^2 complexity claims.
+  // N^3 -> N^2 complexity claims. Counted identically in both precisions.
   mutable std::atomic<long> fft_count{0};
 
  private:
@@ -118,13 +147,36 @@ class ExchangeOperator {
   void pair_accumulate_batched(const cplx* src_real, const real_t* d,
                                const std::vector<size_t>& active,
                                const la::MatC& tgt, la::MatC& out) const;
+  // FP32 pipeline: float sources, float pair FFTs, FP64 (optionally
+  // Kahan-compensated) accumulation. batch_size == 1 runs width-1 blocks so
+  // the transform count matches the per-pair baseline exactly.
+  void pair_accumulate_f32(const cplxf* src_real, size_t nsrc,
+                           const real_t* d, const la::MatC& tgt, la::MatC& out,
+                           bool accumulate) const;
+  // One block engine per apply shape, templated over the slab scalar
+  // (CS = cplx for the FP64 pipeline, cplxf for FP32): pair forming, the
+  // kernel filter and the FP64 accumulation share a single body so the
+  // precision modes cannot drift apart. Defined in exchange.cpp only.
+  template <typename CS>
+  void pair_accumulate_blocks(const CS* src_real, const real_t* d,
+                              const std::vector<size_t>& active,
+                              const la::MatC& tgt, la::MatC& out) const;
+  template <typename CS>
+  void weighted_blocks(const CS* src_real, const CS* weight_real, size_t nsrc,
+                       const la::MatC& tgt, la::MatC& out) const;
+  template <typename CS>
+  void mixed_naive_blocks(const la::Matrix<CS>& src_real,
+                          const la::MatC& sigma, const la::MatC& tgt,
+                          la::MatC& out) const;
   // Shared middle of every batched path: forward_batch, K(G)/Ng multiply,
   // inverse_batch on nb pair densities, with the FFT-count bookkeeping.
   void kernel_filter_block(cplx* block, size_t nb) const;
+  void kernel_filter_block(cplxf* block, size_t nb) const;
 
   const pw::SphereGridMap* map_;
   ExchangeOptions opt_;
-  std::vector<real_t> kernel_;  // K(G) on the wavefunction grid
+  std::vector<real_t> kernel_;    // K(G) on the wavefunction grid
+  std::vector<realf_t> kernelf_;  // K(G) rounded once for the FP32 path
 };
 
 }  // namespace ptim::ham

@@ -69,6 +69,10 @@ class Hamiltonian {
   void set_exchange_source_mixed(la::MatC phi, la::MatC sigma);
   void set_exchange_mode(ExchangeMode m) { xmode_ = m; }
   ExchangeMode exchange_mode() const { return xmode_; }
+  // Precision policy of the exact-exchange hot path (pair FFTs, ring
+  // payloads); everything else the Hamiltonian computes stays FP64.
+  void set_exchange_precision(Precision p) { xop_.set_precision(p); }
+  Precision exchange_precision() const { return xop_.precision(); }
   void set_ace(AceOperator ace) { ace_ = std::move(ace); xmode_ = ExchangeMode::kAce; }
   const AceOperator& ace() const { return ace_; }
 

@@ -49,7 +49,7 @@ class Matrix {
     Matrix out(cols_, rows_);
     for (size_t j = 0; j < cols_; ++j)
       for (size_t i = 0; i < rows_; ++i) {
-        if constexpr (std::is_same_v<T, cplx>)
+        if constexpr (std::is_same_v<T, cplx> || std::is_same_v<T, cplxf>)
           out(j, i) = std::conj((*this)(i, j));
         else
           out(j, i) = (*this)(i, j);
@@ -68,5 +68,8 @@ class Matrix {
 
 using MatC = Matrix<cplx>;
 using MatR = Matrix<real_t>;
+// Single-precision complex block: the down-converted-at-the-edge buffers of
+// the FP32 exchange pipeline (pair densities, circulated real-space slabs).
+using MatCf = Matrix<cplxf>;
 
 }  // namespace ptim::la

@@ -179,6 +179,38 @@ void Comm::sendrecv(int dest, const void* sendbuf, size_t send_bytes, int src,
               t.seconds());
 }
 
+// Typed FP32 overloads: thin element-count wrappers over the byte movers —
+// they share the mailbox machinery and the per-op stats, so the halved ring
+// payloads show up directly in CommStats byte columns.
+void Comm::send(int dest, const float* data, size_t n, int tag) {
+  send(dest, static_cast<const void*>(data), n * sizeof(float), tag);
+}
+void Comm::recv(int src, float* data, size_t n, int tag) {
+  recv(src, static_cast<void*>(data), n * sizeof(float), tag);
+}
+void Comm::send(int dest, const cplxf* data, size_t n, int tag) {
+  send(dest, static_cast<const void*>(data), n * sizeof(cplxf), tag);
+}
+void Comm::recv(int src, cplxf* data, size_t n, int tag) {
+  recv(src, static_cast<void*>(data), n * sizeof(cplxf), tag);
+}
+void Comm::sendrecv(int dest, const float* sendbuf, size_t nsend, int src,
+                    float* recvbuf, size_t nrecv, int tag) {
+  sendrecv(dest, static_cast<const void*>(sendbuf), nsend * sizeof(float), src,
+           static_cast<void*>(recvbuf), nrecv * sizeof(float), tag);
+}
+void Comm::sendrecv(int dest, const cplxf* sendbuf, size_t nsend, int src,
+                    cplxf* recvbuf, size_t nrecv, int tag) {
+  sendrecv(dest, static_cast<const void*>(sendbuf), nsend * sizeof(cplxf), src,
+           static_cast<void*>(recvbuf), nrecv * sizeof(cplxf), tag);
+}
+void Comm::bcast(float* data, size_t n, int root) {
+  bcast(static_cast<void*>(data), n * sizeof(float), root);
+}
+void Comm::bcast(cplxf* data, size_t n, int root) {
+  bcast(static_cast<void*>(data), n * sizeof(cplxf), root);
+}
+
 void Comm::bcast(void* data, size_t bytes, int root) {
   Timer t;
   world_->barrier();
@@ -205,7 +237,9 @@ void allreduce_impl(World* w, int rank, int nranks, T* data, size_t n) {
     for (size_t i = 0; i < n; ++i) acc[i] += src[i];
   }
   w->barrier();  // nobody overwrites their input before everyone has read it
-  std::memcpy(data, acc.data(), n * sizeof(T));
+  // n == 0 is legal (and data may then be null; memcpy from/to null is UB
+  // even for zero bytes).
+  if (n > 0) std::memcpy(data, acc.data(), n * sizeof(T));
   w->barrier();
 }
 }  // namespace
@@ -221,6 +255,20 @@ void Comm::allreduce_sum(real_t* data, size_t n) {
   Timer t;
   allreduce_impl(world_, rank_, size(), data, n);
   stats().add("Allreduce", static_cast<long long>(n * sizeof(real_t)),
+              t.seconds());
+}
+
+void Comm::allreduce_sum(cplxf* data, size_t n) {
+  Timer t;
+  allreduce_impl(world_, rank_, size(), data, n);
+  stats().add("Allreduce", static_cast<long long>(n * sizeof(cplxf)),
+              t.seconds());
+}
+
+void Comm::allreduce_sum(float* data, size_t n) {
+  Timer t;
+  allreduce_impl(world_, rank_, size(), data, n);
+  stats().add("Allreduce", static_cast<long long>(n * sizeof(float)),
               t.seconds());
 }
 

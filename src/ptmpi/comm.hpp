@@ -78,6 +78,7 @@ class Comm {
 
   // Point-to-point (blocking and nonblocking). Messages are matched by
   // (source, tag) in FIFO order; isend is buffered (copies immediately).
+  // Zero-byte messages are legal everywhere (empty band blocks).
   void send(int dest, const void* data, size_t bytes, int tag = 0);
   void recv(int src, void* data, size_t bytes, int tag = 0);
   Request isend(int dest, const void* data, size_t bytes, int tag = 0);
@@ -88,6 +89,21 @@ class Comm {
   void sendrecv(int dest, const void* sendbuf, size_t send_bytes, int src,
                 void* recvbuf, size_t recv_bytes, int tag = 0);
 
+  // Typed FP32 overloads (counts are ELEMENTS, not bytes) — the reduced
+  // precision ring payloads of the FP32 exchange pipeline. Exact pointer
+  // types select these; every other pointer still falls through to the
+  // raw-byte signatures above.
+  void send(int dest, const float* data, size_t n, int tag = 0);
+  void recv(int src, float* data, size_t n, int tag = 0);
+  void send(int dest, const cplxf* data, size_t n, int tag = 0);
+  void recv(int src, cplxf* data, size_t n, int tag = 0);
+  void sendrecv(int dest, const float* sendbuf, size_t nsend, int src,
+                float* recvbuf, size_t nrecv, int tag = 0);
+  void sendrecv(int dest, const cplxf* sendbuf, size_t nsend, int src,
+                cplxf* recvbuf, size_t nrecv, int tag = 0);
+  void bcast(float* data, size_t n, int root);
+  void bcast(cplxf* data, size_t n, int root);
+
   // Collectives. allreduce_sum is deterministic: every rank forms the sum
   // in rank order (0, 1, ..., p-1), so the result is bit-identical on all
   // ranks and independent of thread scheduling — the property the
@@ -96,6 +112,11 @@ class Comm {
   void bcast(void* data, size_t bytes, int root);
   void allreduce_sum(cplx* data, size_t n);
   void allreduce_sum(real_t* data, size_t n);
+  // FP32 reductions exist for completeness/stress-testing; the distributed
+  // propagator deliberately keeps its sigma/overlap Allreduces in FP64 so
+  // results stay bit-identical across ranks in every precision mode.
+  void allreduce_sum(cplxf* data, size_t n);
+  void allreduce_sum(float* data, size_t n);
   // Each rank contributes `send_count` elements; all ranks receive the
   // concatenation ordered by rank.
   void allgatherv(const cplx* send, size_t send_count, cplx* recv,

@@ -70,4 +70,57 @@ void SphereGridMap::to_sphere_batch_inplace(la::MatC& real_space,
   }
 }
 
+// ----------------------------------------------------- FP32 pipeline ----
+
+void SphereGridMap::to_real(const cplx* coeffs, cplxf* real_space) const {
+  const size_t ng = grid_->size();
+  std::fill(real_space, real_space + ng, cplxf(0.0f));
+  // Output scale folded into the scatter in FP64 (the FFT is linear), so
+  // each coefficient is rounded to FP32 exactly once.
+  for (size_t i = 0; i < map_.size(); ++i)
+    real_space[map_[i]] = static_cast<cplxf>(coeffs[i] * scale_to_real_);
+  grid_->fft_f32().inverse(real_space);  // scaled by 1/Ng internally
+}
+
+void SphereGridMap::to_sphere(const cplxf* real_space, cplx* coeffs) const {
+  const size_t ng = grid_->size();
+  std::vector<cplxf> work(real_space, real_space + ng);
+  grid_->fft_f32().forward(work.data());
+  for (size_t i = 0; i < map_.size(); ++i)
+    coeffs[i] = static_cast<cplx>(work[map_[i]]) * scale_to_sphere_;
+}
+
+void SphereGridMap::to_real_batch(const la::MatC& coeffs,
+                                  la::MatCf& real_space) const {
+  PTIM_CHECK(coeffs.rows() == map_.size());
+  const size_t nb = coeffs.cols();
+  const size_t npw = map_.size();
+  real_space.resize(grid_->size(), nb);  // zero-fills
+#pragma omp parallel for schedule(static)
+  for (size_t b = 0; b < nb; ++b) {
+    const cplx* cb = coeffs.col(b);
+    cplxf* rb = real_space.col(b);
+    for (size_t i = 0; i < npw; ++i)
+      rb[map_[i]] = static_cast<cplxf>(cb[i] * scale_to_real_);
+  }
+  grid_->fft_f32().inverse_batch(real_space.data(), nb);
+}
+
+void SphereGridMap::to_sphere_batch(const la::MatCf& real_space,
+                                    la::MatC& coeffs) const {
+  PTIM_CHECK(real_space.rows() == grid_->size());
+  const size_t nb = real_space.cols();
+  const size_t npw = map_.size();
+  la::MatCf work = real_space;
+  grid_->fft_f32().forward_batch(work.data(), nb);
+  coeffs.resize(npw, nb);
+#pragma omp parallel for schedule(static)
+  for (size_t b = 0; b < nb; ++b) {
+    const cplxf* wb = work.col(b);
+    cplx* cb = coeffs.col(b);
+    for (size_t i = 0; i < npw; ++i)
+      cb[i] = static_cast<cplx>(wb[map_[i]]) * scale_to_sphere_;
+  }
+}
+
 }  // namespace ptim::pw

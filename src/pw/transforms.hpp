@@ -37,6 +37,17 @@ class SphereGridMap {
   // (its contents are destroyed) instead of copying the whole block.
   void to_sphere_batch_inplace(la::MatC& real_space, la::MatC& coeffs) const;
 
+  // --- FP32 pipeline (Precision::kSingle*) -----------------------------
+  // Down-convert-at-the-edge transforms: FP64 sphere coefficients are
+  // rounded to FP32 during the scatter, the FFT runs on the float twin of
+  // the grid, and the gather promotes back to FP64. These carry the
+  // exact-exchange pair work and ring payloads; everything the propagator
+  // accumulates stays FP64.
+  void to_real(const cplx* coeffs, cplxf* real_space) const;
+  void to_sphere(const cplxf* real_space, cplx* coeffs) const;
+  void to_real_batch(const la::MatC& coeffs, la::MatCf& real_space) const;
+  void to_sphere_batch(const la::MatCf& real_space, la::MatC& coeffs) const;
+
  private:
   const grid::GSphere* sphere_;
   const grid::FftGrid* grid_;

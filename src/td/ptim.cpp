@@ -19,7 +19,10 @@ using detail::unflatten;
 
 PtImPropagator::PtImPropagator(ham::Hamiltonian& h, PtImOptions opt,
                                const LaserPulse* laser)
-    : h_(&h), opt_(opt), laser_(laser) {}
+    : h_(&h), opt_(opt), laser_(laser) {
+  if (opt_.exchange_precision)
+    h_->set_exchange_precision(*opt_.exchange_precision);
+}
 
 void PtImPropagator::configure_exchange_midpoint(const la::MatC& phih,
                                                  la::MatC sigmah) {

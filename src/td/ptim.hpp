@@ -18,6 +18,8 @@
 //   kAce      — kDiag plus the ACE double loop (exact exchange applied only
 //               once per outer iteration; the paper's 25 -> 5 reduction).
 
+#include <optional>
+
 #include "ham/hamiltonian.hpp"
 #include "td/laser.hpp"
 #include "td/state.hpp"
@@ -36,6 +38,12 @@ struct PtImOptions {
   real_t anderson_beta = 0.7;
   PtImVariant variant = PtImVariant::kDiag;
   bool hybrid = true;
+  // When set, applied to the Hamiltonian's exchange operator at propagator
+  // construction: the exchange pair FFTs (and, distributed, the ring slabs)
+  // run at this precision while all propagator algebra — midpoints,
+  // Anderson mixing, orthonormalization, sigma evolution — stays FP64.
+  // Unset keeps whatever the Hamiltonian was configured with.
+  std::optional<Precision> exchange_precision;
   // false = PT-CN mode: freeze sigma and evolve only Phi — the earlier
   // parallel-transport Crank-Nicolson scheme (Jia et al., JCTC 2018) that
   // is valid for gapped/pure-state systems. PT-IM generalizes it to mixed

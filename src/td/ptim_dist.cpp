@@ -36,7 +36,13 @@ TdState gather_state(ptmpi::Comm& c, const DistTdState& s,
 DistPtImPropagator::DistPtImPropagator(dist::BandDistributedHamiltonian& h,
                                        PtImOptions opt,
                                        const LaserPulse* laser)
-    : h_(&h), opt_(opt), laser_(laser) {}
+    : h_(&h), opt_(opt), laser_(laser) {
+  // The policy reaches the ring through the rank-local exchange operator:
+  // FP32 slabs circulate while sigma/overlap Allreduces stay FP64, so the
+  // distributed trajectory remains bit-identical across ranks.
+  if (opt_.exchange_precision)
+    h_->local().set_exchange_precision(*opt_.exchange_precision);
+}
 
 void DistPtImPropagator::configure_exchange_midpoint(
     const la::MatC& phih_local, const la::MatC& sigmah, la::MatC theta_local) {

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "fft/fft.hpp"
 
@@ -247,6 +248,131 @@ TEST(Fft3Batch, ZeroBatchIsNoop) {
   fft::Fft3 f(4, 4, 4);
   f.forward_batch(nullptr, 0);
   f.inverse_batch(nullptr, 0);
+}
+
+// ----------------------------------------------- *_many misuse guards ---
+
+TEST(Fft1Batch, ManyRejectsAliasedBuffers) {
+  // in == out used to corrupt data silently; now it throws.
+  fft::Plan1D plan(12);
+  std::vector<cplx> buf(12 * 4);
+  EXPECT_THROW(plan.forward_many(buf.data(), buf.data(), 4), Error);
+  EXPECT_THROW(plan.inverse_many(buf.data(), buf.data(), 4), Error);
+}
+
+TEST(Fft1Batch, ManyRejectsOversizedTile) {
+  fft::Plan1D plan(8);
+  const size_t vlen = fft::Plan1D::kMaxTile + 1;
+  std::vector<cplx> in(8 * vlen), out(8 * vlen);
+  EXPECT_THROW(plan.forward_many(in.data(), out.data(), vlen), Error);
+  EXPECT_THROW(plan.forward_many(in.data(), out.data(), 0), Error);
+}
+
+// ------------------------------------------------- float instantiation ---
+
+namespace {
+
+std::vector<cplxf> to_f32(const std::vector<cplx>& x) {
+  std::vector<cplxf> y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] = static_cast<cplxf>(x[i]);
+  return y;
+}
+
+}  // namespace
+
+class FftSizeF32 : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FftSizeF32, MatchesDoubleReference) {
+  // The float plan agrees with the double transform of the same signal at
+  // single-precision accuracy — mixed-radix and Bluestein sizes alike.
+  const size_t n = GetParam();
+  const auto x = random_signal(n, 70 + static_cast<unsigned>(n));
+  fft::Plan1D plan64(n);
+  fft::Plan1Df plan32(n);
+  std::vector<cplx> ref(n);
+  plan64.forward(x.data(), ref.data());
+  const auto xf = to_f32(x);
+  std::vector<cplxf> y(n);
+  plan32.forward(xf.data(), y.data());
+  real_t scale = 0.0;
+  for (size_t k = 0; k < n; ++k) scale = std::max(scale, std::abs(ref[k]));
+  for (size_t k = 0; k < n; ++k)
+    EXPECT_NEAR(std::abs(static_cast<cplx>(y[k]) - ref[k]), 0.0,
+                2e-6 * std::max(scale, real_t(1.0)) *
+                    std::sqrt(static_cast<real_t>(n)))
+        << "n=" << n << " k=" << k;
+}
+
+TEST_P(FftSizeF32, RoundTrip) {
+  const size_t n = GetParam();
+  const auto xf = to_f32(random_signal(n, 80 + static_cast<unsigned>(n)));
+  fft::Plan1Df plan(n);
+  std::vector<cplxf> y(n), z(n);
+  plan.forward(xf.data(), y.data());
+  plan.inverse(y.data(), z.data());
+  for (size_t k = 0; k < n; ++k)
+    EXPECT_NEAR(std::abs(z[k] - xf[k]), 0.0, 1e-5f * static_cast<float>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeF32,
+                         ::testing::Values(1, 2, 6, 8, 16, 20, 30, 36, 48, 64,
+                                           11, 13, 17, 31, 101, 77));
+
+// Bluestein-sized (non-{2,3,5,7}) boxes through the batched 3-D engine, in
+// both precisions: every axis of {11,13,9} except the last needs the
+// chirp-z fallback inside forward_batch/inverse_batch.
+TEST(Fft3Batch, BluesteinSizedGridDouble) {
+  fft::Fft3 f(11, 13, 9);
+  const size_t ng = f.size();
+  const size_t nbatch = 5;
+  auto batch = random_signal(ng * nbatch, 90);
+  auto singles = batch;
+  f.forward_batch(batch.data(), nbatch);
+  for (size_t b = 0; b < nbatch; ++b) f.forward(singles.data() + b * ng);
+  for (size_t i = 0; i < ng * nbatch; ++i)
+    EXPECT_NEAR(std::abs(batch[i] - singles[i]), 0.0, 1e-8) << "i=" << i;
+  const auto orig = random_signal(ng * nbatch, 91);
+  auto x = orig;
+  f.forward_batch(x.data(), nbatch);
+  f.inverse_batch(x.data(), nbatch);
+  for (size_t i = 0; i < ng * nbatch; ++i)
+    EXPECT_NEAR(std::abs(x[i] - orig[i]), 0.0, 1e-9);
+}
+
+TEST(Fft3Batch, BluesteinSizedGridSingle) {
+  fft::Fft3f f32(11, 13, 9);
+  fft::Fft3 f64(11, 13, 9);
+  const size_t ng = f32.size();
+  const size_t nbatch = 3;
+  const auto orig = random_signal(ng * nbatch, 92);
+  auto ref = orig;
+  f64.forward_batch(ref.data(), nbatch);
+  auto x = to_f32(orig);
+  f32.forward_batch(x.data(), nbatch);
+  real_t scale = 0.0;
+  for (size_t i = 0; i < ng * nbatch; ++i)
+    scale = std::max(scale, std::abs(ref[i]));
+  for (size_t i = 0; i < ng * nbatch; ++i)
+    EXPECT_NEAR(std::abs(static_cast<cplx>(x[i]) - ref[i]), 0.0,
+                1e-4 * std::max(scale, real_t(1.0)))
+        << "i=" << i;
+  // Scaled-inverse round trip at float accuracy.
+  f32.inverse_batch(x.data(), nbatch);
+  const auto origf = to_f32(orig);
+  for (size_t i = 0; i < ng * nbatch; ++i)
+    EXPECT_NEAR(std::abs(x[i] - origf[i]), 0.0, 2e-4f);
+}
+
+TEST(Fft3BatchF32, MatchesSingleTransforms) {
+  fft::Fft3f f(6, 5, 4);
+  const size_t ng = f.size();
+  const size_t nbatch = 7;
+  auto batch = to_f32(random_signal(ng * nbatch, 93));
+  auto singles = batch;
+  f.forward_batch(batch.data(), nbatch);
+  for (size_t b = 0; b < nbatch; ++b) f.forward(singles.data() + b * ng);
+  for (size_t i = 0; i < ng * nbatch; ++i)
+    EXPECT_NEAR(std::abs(batch[i] - singles[i]), 0.0, 1e-4f) << "i=" << i;
 }
 
 TEST(Fft3, PlaneWaveIsDelta) {

@@ -416,6 +416,146 @@ TEST(PtmpiStress, DeterministicAllreduceBitIdentical) {
   EXPECT_EQ(results[1], results[2]);
 }
 
+// ------------------------------------------------- FP32 typed overloads --
+
+TEST(PtmpiF32, TypedSendRecvRoundTrip) {
+  ptmpi::run_ranks(2, 1, [](ptmpi::Comm& c) {
+    if (c.rank() == 0) {
+      const std::vector<float> f{1.5f, -2.25f, 3.0f};
+      const std::vector<cplxf> z{{1.0f, -1.0f}, {0.5f, 2.0f}};
+      c.send(1, f.data(), f.size(), 1);
+      c.send(1, z.data(), z.size(), 2);
+    } else {
+      std::vector<float> f(3);
+      std::vector<cplxf> z(2);
+      c.recv(0, f.data(), f.size(), 1);
+      c.recv(0, z.data(), z.size(), 2);
+      EXPECT_EQ(f[0], 1.5f);
+      EXPECT_EQ(f[1], -2.25f);
+      EXPECT_EQ(f[2], 3.0f);
+      EXPECT_EQ(z[0], cplxf(1.0f, -1.0f));
+      EXPECT_EQ(z[1], cplxf(0.5f, 2.0f));
+    }
+  });
+  // Typed counts are elements: the recorded bytes reflect the FP32 width.
+  const auto& st = ptmpi::last_run_stats()[0];
+  EXPECT_EQ(st.ops.at("Send").bytes,
+            static_cast<long long>(3 * sizeof(float) + 2 * sizeof(cplxf)));
+}
+
+TEST(PtmpiF32, TypedSendrecvRotatesRing) {
+  const int p = 4;
+  std::vector<cplxf> results(p);
+  ptmpi::run_ranks(p, 1, [&](ptmpi::Comm& c) {
+    const int me = c.rank();
+    cplxf out_v(100.0f + static_cast<float>(me), -1.0f), in_v(0.0f);
+    c.sendrecv((me + 1) % p, &out_v, 1, (me - 1 + p) % p, &in_v, 1);
+    results[static_cast<size_t>(me)] = in_v;
+  });
+  for (int r = 0; r < p; ++r)
+    EXPECT_EQ(results[static_cast<size_t>(r)],
+              cplxf(100.0f + static_cast<float>((r - 1 + p) % p), -1.0f));
+}
+
+TEST(PtmpiF32, TypedBcastAndAllreduce) {
+  const int p = 3;
+  ptmpi::run_ranks(p, 1, [&](ptmpi::Comm& c) {
+    std::vector<cplxf> v(4, cplxf(0.0f));
+    if (c.rank() == 1)
+      for (size_t i = 0; i < v.size(); ++i)
+        v[i] = cplxf(static_cast<float>(i), 0.5f);
+    c.bcast(v.data(), v.size(), /*root=*/1);
+    for (size_t i = 0; i < v.size(); ++i)
+      EXPECT_EQ(v[i], cplxf(static_cast<float>(i), 0.5f));
+
+    float s = static_cast<float>(c.rank() + 1);
+    c.allreduce_sum(&s, 1);
+    EXPECT_EQ(s, static_cast<float>(p * (p + 1) / 2));
+
+    cplxf z(1.0f, static_cast<float>(c.rank()));
+    c.allreduce_sum(&z, 1);
+    EXPECT_EQ(z, cplxf(3.0f, 3.0f));
+  });
+}
+
+TEST(PtmpiF32, ZeroElementMessagesLegal) {
+  // Zero-count typed traffic (empty band blocks) must be matched and
+  // completed without touching any buffer.
+  ptmpi::run_ranks(2, 1, [](ptmpi::Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, static_cast<const cplxf*>(nullptr), 0, 5);
+      cplxf dummy;
+      c.sendrecv(1, static_cast<const cplxf*>(nullptr), 0, 1, &dummy, 1, 6);
+    } else {
+      c.recv(0, static_cast<cplxf*>(nullptr), 0, 5);
+      const cplxf payload(7.0f, -7.0f);
+      c.sendrecv(0, &payload, 1, 0, static_cast<cplxf*>(nullptr), 0, 6);
+    }
+    float* none = nullptr;
+    c.bcast(none, 0, 0);
+    c.allreduce_sum(none, 0);
+  });
+}
+
+namespace {
+
+// Deterministic per-direction message size for the mixed-precision stress
+// test: both endpoints of a pair can compute each other's outbound sizes
+// without sharing rng state. Sprinkles zeros (~1 in 8).
+size_t planned_count(unsigned seed, int src, int dst, int round, int width,
+                     size_t cap) {
+  const size_t h = static_cast<size_t>(seed) * 2654435761u +
+                   static_cast<size_t>(src) * 97 +
+                   static_cast<size_t>(dst) * 31 +
+                   static_cast<size_t>(round) * 7 +
+                   static_cast<size_t>(width);
+  return (h % 8 == 0) ? 0 : h % cap;
+}
+
+}  // namespace
+
+TEST(PtmpiStress, RandomizedMixedPrecisionTraffic) {
+  // Interleaved FP64/FP32 messages with mixed tags and sizes (including
+  // zero): the typed overloads share one mailbox, so nothing may be
+  // reinterpreted across widths. XOR pairing makes every round a perfect
+  // matching (peer(peer) == me for p a power of two) and cycles through all
+  // p-1 distinct topologies; values are exactly representable so equality
+  // checks are exact.
+  const int p = 4;
+  for (unsigned seed : {11u, 12u, 13u}) {
+    ptmpi::run_ranks(p, 2, [&](ptmpi::Comm& c) {
+      const int me = c.rank();
+      for (int round = 0; round < 9; ++round) {
+        const int peer = me ^ (1 + round % (p - 1));
+        const size_t n64 = planned_count(seed, me, peer, round, 64, 33);
+        const size_t n32 = planned_count(seed, me, peer, round, 32, 65);
+        const size_t m64 = planned_count(seed, peer, me, round, 64, 33);
+        const size_t m32 = planned_count(seed, peer, me, round, 32, 65);
+        std::vector<cplx> s64(n64), r64(m64, cplx(-1.0, -1.0));
+        std::vector<cplxf> s32(n32), r32(m32, cplxf(-1.0f, -1.0f));
+        for (size_t i = 0; i < n64; ++i)
+          s64[i] = cplx(me * 1000 + round, static_cast<real_t>(i));
+        for (size_t i = 0; i < n32; ++i)
+          s32[i] = cplxf(static_cast<float>(me), static_cast<float>(i));
+        // Both widths in flight between the same pair, distinct tags; the
+        // FP64 leg goes through the raw-byte API, the FP32 leg through the
+        // typed element-count overload.
+        c.sendrecv(peer, s64.data(), n64 * sizeof(cplx), peer, r64.data(),
+                   m64 * sizeof(cplx), /*tag=*/2 * round);
+        c.sendrecv(peer, s32.data(), n32, peer, r32.data(), m32,
+                   /*tag=*/2 * round + 1);
+        for (size_t i = 0; i < m64; ++i)
+          ASSERT_EQ(r64[i], cplx(peer * 1000 + round, static_cast<real_t>(i)))
+              << "seed " << seed << " round " << round;
+        for (size_t i = 0; i < m32; ++i)
+          ASSERT_EQ(r32[i],
+                    cplxf(static_cast<float>(peer), static_cast<float>(i)))
+              << "seed " << seed << " round " << round;
+      }
+    });
+  }
+}
+
 TEST(Ptmpi, ExceptionPropagates) {
   bool threw = false;
   try {
