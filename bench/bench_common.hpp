@@ -3,12 +3,15 @@
 // system (scaled down from the paper's cells so every bench finishes in
 // seconds on one host) and table-printing helpers.
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
 
+#include "backend/backend.hpp"
 #include "common/timer.hpp"
 #include "dist/band_ham.hpp"
+#include "dist/exchange_dist.hpp"
 #include "gs/scf.hpp"
 #include "ham/density.hpp"
 #include "pseudo/atoms.hpp"
@@ -111,6 +114,45 @@ inline std::vector<ptmpi::CommStats> run_distributed_steps(
     if (c.rank() == 0 && step_seconds) *step_seconds = t.seconds();
   });
   return ptmpi::last_run_stats();
+}
+
+// Best-of-`reps` wall time of one distributed diag-exchange application
+// over `nranks` thread ranks under the given execution backend and
+// circulation pattern — the shared measurement behind the overlap benches
+// (bench_overlap and the closing section of bench_table1_comm), so the
+// serialized-vs-overlapped protocol cannot drift between them.
+// comm_seconds (optional) receives rank 0's Sendrecv + Wait + Bcast
+// seconds from the SAME repetition the returned time comes from.
+inline double time_exchange_apply(const MiniSystem& sys,
+                                  const pw::SphereGridMap& map,
+                                  backend::Kind kind,
+                                  dist::ExchangePattern pat, int nranks,
+                                  int reps = 3,
+                                  double* comm_seconds = nullptr) {
+  ham::ExchangeOptions xopt;
+  xopt.backend = kind;
+  ham::ExchangeOperator xop(map, xopt);
+  double best = 1e99;
+  for (int rep = 0; rep < reps; ++rep) {
+    Timer t;
+    ptmpi::run_ranks(nranks, 2, [&](ptmpi::Comm& c) {
+      (void)dist::exchange_apply_distributed(
+          c, xop, sys.ground.phi, sys.ground.occ, sys.ground.phi, pat);
+    });
+    const double secs = t.seconds();
+    if (secs < best) {
+      best = secs;
+      if (comm_seconds) {
+        *comm_seconds = 0.0;
+        for (const char* op : {"Sendrecv", "Wait", "Bcast"}) {
+          const auto& ops = ptmpi::last_run_stats()[0].ops;
+          const auto it = ops.find(op);
+          if (it != ops.end()) *comm_seconds += it->second.seconds;
+        }
+      }
+    }
+  }
+  return best;
 }
 
 inline void rule(char c = '-') {

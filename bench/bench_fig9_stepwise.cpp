@@ -10,6 +10,7 @@
 //     240 ARM / 24 GPU nodes, printed against the published factors.
 
 #include <cmath>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "common/timer.hpp"
@@ -29,6 +30,13 @@ int main() {
   std::printf("%-10s %12s %12s %14s %12s\n", "variant", "seconds",
               "vs BL", "Vx FFT count", "SCF iters");
 
+  struct MeasuredRow {
+    const char* name;
+    double seconds;
+    long ffts;
+    int scf_iters;
+  };
+  std::vector<MeasuredRow> measured;
   double t_bl = 0.0;
   for (const auto variant :
        {td::PtImVariant::kBaseline, td::PtImVariant::kDiag,
@@ -50,6 +58,8 @@ int main() {
     std::printf("%-10s %12.3f %12.2fx %14ld %12d\n", name, secs, t_bl / secs,
                 sys.ham->exchange_op().fft_count.load(),
                 stats.scf_iterations);
+    measured.push_back({name, secs, sys.ham->exchange_op().fft_count.load(),
+                        stats.scf_iterations});
   }
 
   // Communication patterns over 4 in-process ranks.
@@ -122,5 +132,46 @@ int main() {
   };
   print_model(netsim::Platform::fugaku_arm(), 240, paper_arm, 55.15);
   print_model(netsim::Platform::gpu_a100(), 24, paper_gpu, 41.44);
+
+  // Machine-readable dump for the perf trajectory: measured per-variant
+  // step costs on this host plus the modeled paper-scale ladder.
+  const char* path = "BENCH_fig9_stepwise.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fprintf(f, "{\n  \"measured_step\": [\n");
+    for (size_t i = 0; i < measured.size(); ++i)
+      std::fprintf(f,
+                   "    {\"variant\": \"%s\", \"seconds\": %.6e, "
+                   "\"speedup_vs_bl\": %.4f, \"vx_fft_count\": %ld, "
+                   "\"scf_iterations\": %d}%s\n",
+                   measured[i].name, measured[i].seconds,
+                   measured[0].seconds / measured[i].seconds,
+                   measured[i].ffts, measured[i].scf_iters,
+                   i + 1 < measured.size() ? "," : "");
+    std::fprintf(f, "  ],\n  \"model\": [\n");
+    struct Plat {
+      netsim::Platform plat;
+      size_t nodes;
+    };
+    const Plat plats[] = {{netsim::Platform::fugaku_arm(), 240},
+                          {netsim::Platform::gpu_a100(), 24}};
+    for (size_t pi = 0; pi < 2; ++pi) {
+      const auto rows = netsim::fig9_stepwise(plats[pi].plat, 384,
+                                              plats[pi].nodes);
+      for (size_t i = 0; i < rows.size(); ++i)
+        std::fprintf(f,
+                     "    {\"platform\": \"%s\", \"nodes\": %zu, "
+                     "\"variant\": \"%s\", \"step_seconds\": %.4f, "
+                     "\"speedup_vs_prev\": %.4f, "
+                     "\"speedup_vs_baseline\": %.4f}%s\n",
+                     plats[pi].plat.name.c_str(), plats[pi].nodes,
+                     netsim::variant_name(rows[i].variant),
+                     rows[i].step_seconds, rows[i].speedup_vs_prev,
+                     rows[i].speedup_vs_baseline,
+                     (pi == 1 && i + 1 == rows.size()) ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("(written to %s)\n", path);
+  }
   return 0;
 }

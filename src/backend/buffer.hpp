@@ -1,0 +1,57 @@
+#pragma once
+// Buffer<T> — typed device-style buffer with allocation accounting.
+//
+// On the host backends this is ordinary memory; a real GPU backend would
+// back it with device allocations, which is exactly why the ring pipeline
+// is required to hold a FIXED number of buffers per circulation (double
+// buffering) instead of allocating per round — device allocation inside
+// the hot loop would serialize the streams. The process-wide allocation
+// counter makes that property testable: test_dist pins the per-circulation
+// allocation count independent of rank count and round count.
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace ptim::backend {
+
+namespace detail {
+inline std::atomic<long>& buffer_alloc_counter() {
+  static std::atomic<long> count{0};
+  return count;
+}
+}  // namespace detail
+
+// Number of Buffer allocations (ensure() calls that actually grew storage)
+// since process start. Monotone; tests diff before/after.
+inline long buffer_alloc_count() {
+  return detail::buffer_alloc_counter().load(std::memory_order_relaxed);
+}
+
+template <typename T>
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(size_t n) { ensure(n); }
+
+  // Grow to n zero-initialized elements; shrinking or same-size calls keep
+  // the existing storage (and its contents) and do not count as
+  // allocations.
+  void ensure(size_t n) {
+    if (n > data_.size()) {
+      data_.assign(n, T{});
+      detail::buffer_alloc_counter().fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  size_t size() const { return data_.size(); }
+  void fill(const T& v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  std::vector<T> data_;
+};
+
+}  // namespace ptim::backend

@@ -1,0 +1,47 @@
+#include "backend/host_async.hpp"
+
+#include "common/error.hpp"
+
+namespace ptim::backend {
+
+Stream HostAsyncExecutor::create_stream(const std::string& name) {
+  Stream s;
+  s.state = std::make_shared<detail::StreamState>(name);
+  s.name = name;
+  return s;
+}
+
+void HostAsyncExecutor::launch(const Stream& s, std::function<void()> fn,
+                               const char* name) {
+  PTIM_CHECK_MSG(s.state, "HostAsync: launch on a null stream");
+  note_launch(name);
+  s.state->enqueue(std::move(fn));
+}
+
+Event HostAsyncExecutor::record(const Stream& s) {
+  PTIM_CHECK_MSG(s.state, "HostAsync: record on a null stream");
+  Event e;
+  e.state = std::make_shared<detail::EventState>();
+  // The signal runs in order after everything submitted so far.
+  s.state->enqueue([state = e.state] { state->signal(); });
+  return e;
+}
+
+void HostAsyncExecutor::stream_wait_event(const Stream& s, const Event& e) {
+  PTIM_CHECK_MSG(s.state, "HostAsync: wait on a null stream");
+  PTIM_CHECK_MSG(e.state, "HostAsync: wait on a null event");
+  // The stream's worker blocks until the event signals; tasks enqueued
+  // after this call therefore run only once the dependency resolved.
+  s.state->enqueue([state = e.state] { state->wait(); });
+}
+
+void HostAsyncExecutor::synchronize(const Stream& s) {
+  if (s.state) s.state->drain();
+}
+
+void HostAsyncExecutor::synchronize(const Event& e) {
+  PTIM_CHECK_MSG(e.state, "HostAsync: synchronize on a null event");
+  e.state->wait();
+}
+
+}  // namespace ptim::backend

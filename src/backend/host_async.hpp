@@ -1,0 +1,25 @@
+#pragma once
+// HostAsync executor: a worker-thread stream executor with real event
+// dependencies, modeling a GPU queue on CPU. Each stream owns one worker
+// thread draining an in-order FIFO; stream_wait_event enqueues a blocking
+// wait task, so cross-stream dependencies behave exactly like
+// cudaStreamWaitEvent. This is what lets the distributed ring overlap the
+// wire transfer of slab k+1 with the pair-FFT compute of slab k.
+
+#include "backend/executor.hpp"
+
+namespace ptim::backend {
+
+class HostAsyncExecutor final : public Executor {
+ public:
+  Kind kind() const override { return Kind::kHostAsync; }
+  Stream create_stream(const std::string& name) override;
+  void launch(const Stream& s, std::function<void()> fn,
+              const char* name) override;
+  Event record(const Stream& s) override;
+  void stream_wait_event(const Stream& s, const Event& e) override;
+  void synchronize(const Stream& s) override;
+  void synchronize(const Event& e) override;
+};
+
+}  // namespace ptim::backend

@@ -1,0 +1,44 @@
+#include "backend/host_serial.hpp"
+
+#include "common/error.hpp"
+
+namespace ptim::backend {
+
+Stream HostSerialExecutor::create_stream(const std::string& name) {
+  Stream s;
+  s.name = name;  // no worker: launches run inline on the calling thread
+  return s;
+}
+
+void HostSerialExecutor::launch(const Stream& s, std::function<void()> fn,
+                                const char* name) {
+  (void)s;
+  note_launch(name);
+  fn();  // inline: exceptions propagate straight to the enqueuer
+}
+
+Event HostSerialExecutor::record(const Stream& s) {
+  (void)s;
+  Event e;
+  e.state = std::make_shared<detail::EventState>();
+  e.state->done = true;  // everything before this launch already ran inline
+  return e;
+}
+
+void HostSerialExecutor::stream_wait_event(const Stream& s, const Event& e) {
+  (void)s;
+  // Inline execution means any event recorded by this executor has already
+  // signaled; an unsignaled event here is a programming error (it could
+  // only deadlock).
+  PTIM_CHECK_MSG(e.state && e.state->is_done(),
+                 "HostSerial: wait on an unsignaled event");
+}
+
+void HostSerialExecutor::synchronize(const Stream& s) { (void)s; }
+
+void HostSerialExecutor::synchronize(const Event& e) {
+  PTIM_CHECK_MSG(e.state && e.state->is_done(),
+                 "HostSerial: wait on an unsignaled event");
+}
+
+}  // namespace ptim::backend

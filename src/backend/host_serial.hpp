@@ -1,0 +1,23 @@
+#pragma once
+// HostSerial executor: the inline reference implementation. Every launch
+// runs immediately on the enqueuing thread, so execution order equals
+// submission order across ALL streams — the trivially deterministic
+// baseline the HostAsync executor is tested bit-identical against.
+
+#include "backend/executor.hpp"
+
+namespace ptim::backend {
+
+class HostSerialExecutor final : public Executor {
+ public:
+  Kind kind() const override { return Kind::kHostSerial; }
+  Stream create_stream(const std::string& name) override;
+  void launch(const Stream& s, std::function<void()> fn,
+              const char* name) override;
+  Event record(const Stream& s) override;
+  void stream_wait_event(const Stream& s, const Event& e) override;
+  void synchronize(const Stream& s) override;
+  void synchronize(const Event& e) override;
+};
+
+}  // namespace ptim::backend

@@ -1,0 +1,60 @@
+#include "backend/kernels.hpp"
+
+#include <algorithm>
+
+namespace ptim::backend {
+
+KernelRegistry& KernelRegistry::instance() {
+  static KernelRegistry reg;
+  return reg;
+}
+
+void KernelRegistry::add(KernelInfo info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it =
+      std::find_if(kernels_.begin(), kernels_.end(),
+                   [&](const KernelInfo& k) { return k.name == info.name; });
+  if (it == kernels_.end()) kernels_.push_back(std::move(info));
+}
+
+bool KernelRegistry::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::any_of(kernels_.begin(), kernels_.end(),
+                     [&](const KernelInfo& k) { return k.name == name; });
+}
+
+std::vector<KernelInfo> KernelRegistry::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kernels_;
+}
+
+std::vector<KernelInfo> KernelRegistry::stage(const std::string& stage) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<KernelInfo> out;
+  for (const auto& k : kernels_)
+    if (k.stage == stage) out.push_back(k);
+  return out;
+}
+
+void register_exchange_kernels() {
+  static const bool once = [] {
+    auto& reg = KernelRegistry::instance();
+    for (const char* stage : {"pair_form", "fft_filter", "accumulate",
+                              "accumulate_weighted", "apply_slab"}) {
+      reg.add({detail::kernel_name(stage, "fp64"), stage, Precision::kDouble});
+      reg.add({detail::kernel_name(stage, "fp32"), stage, Precision::kSingle});
+    }
+    // The gather-accumulate back to the sphere is FP64 in both pipelines.
+    reg.add({"xchg.gather.fp64", "gather", Precision::kDouble});
+    // The communication stage of the overlapped ring (dist/circulate): the
+    // ptmpi transfer + waits posted on the comm stream.
+    reg.add({"xchg.comm_round", "comm_round", Precision::kDouble});
+    return true;
+  }();
+  (void)once;
+}
+
+template struct ExchangeKernels<cplx>;
+template struct ExchangeKernels<cplxf>;
+
+}  // namespace ptim::backend

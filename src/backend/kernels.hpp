@@ -1,0 +1,136 @@
+#pragma once
+// Kernel registry + typed enqueue wrappers for the exact-exchange hot path.
+//
+// Each stage of the batched exchange pipeline — pair-form, forward/inverse
+// batch FFT with the K(G) multiply (Fft3T<R> underneath), and the FP64
+// gather-accumulate — is registered here as a named kernel in both FP64
+// and FP32, and exposed as an enqueue wrapper that launches the stage on a
+// backend stream. ExchangeOperator's own fused applies call the identical
+// stage bodies, so composing the kernels on a stream reproduces the host
+// apply bit for bit (pinned in test_backend).
+//
+// The registry is intentionally metadata-first: a real device backend
+// would attach its compiled kernels to these same names; the host
+// executors attach closures over the ExchangeOperator stage methods.
+
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "backend/executor.hpp"
+#include "ham/exchange.hpp"
+
+namespace ptim::backend {
+
+struct KernelInfo {
+  std::string name;   // e.g. "xchg.pair_form.fp64"
+  std::string stage;  // pair_form | fft_filter | accumulate |
+                      // accumulate_weighted | gather | apply_slab
+  Precision precision = Precision::kDouble;
+};
+
+class KernelRegistry {
+ public:
+  static KernelRegistry& instance();
+
+  void add(KernelInfo info);  // idempotent by name
+  bool has(const std::string& name) const;
+  std::vector<KernelInfo> list() const;
+  // All registered kernels of one stage (both precisions).
+  std::vector<KernelInfo> stage(const std::string& stage) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<KernelInfo> kernels_;
+};
+
+// Ensure the exchange hot-path kernels are registered (called lazily by
+// the wrappers below; tests may call it directly before enumerating).
+void register_exchange_kernels();
+
+namespace detail {
+template <typename CS>
+constexpr const char* precision_suffix() {
+  return std::is_same_v<CS, cplxf> ? "fp32" : "fp64";
+}
+inline std::string kernel_name(const char* stage, const char* suffix) {
+  return std::string("xchg.") + stage + "." + suffix;
+}
+}  // namespace detail
+
+// Typed enqueue API over the exchange stages, bound to one operator.
+// CS = cplx selects the FP64 pipeline, cplxf the FP32 one. Every method is
+// exactly one launch on `s`; pointers must stay valid until the stream is
+// synchronized.
+template <typename CS>
+struct ExchangeKernels {
+  const ham::ExchangeOperator* xop;
+
+  explicit ExchangeKernels(const ham::ExchangeOperator& op) : xop(&op) {
+    register_exchange_kernels();
+  }
+
+  void pair_form(Executor& ex, const Stream& s, const CS* src_real,
+                 const size_t* idx, size_t nb, const CS* tgt_real,
+                 CS* block) const {
+    const auto name =
+        detail::kernel_name("pair_form", detail::precision_suffix<CS>());
+    ex.launch(
+        s,
+        [op = xop, src_real, idx, nb, tgt_real, block] {
+          op->pair_form_block(src_real, idx, nb, tgt_real, block);
+        },
+        name.c_str());
+  }
+
+  void fft_filter(Executor& ex, const Stream& s, CS* block, size_t nb) const {
+    const auto name =
+        detail::kernel_name("fft_filter", detail::precision_suffix<CS>());
+    ex.launch(
+        s, [op = xop, block, nb] { op->kernel_filter_block(block, nb); },
+        name.c_str());
+  }
+
+  void accumulate(Executor& ex, const Stream& s, const CS* src_real,
+                  const size_t* idx, const real_t* d, size_t nb,
+                  const CS* block, cplx* acc, cplx* comp) const {
+    const auto name =
+        detail::kernel_name("accumulate", detail::precision_suffix<CS>());
+    ex.launch(
+        s,
+        [op = xop, src_real, idx, d, nb, block, acc, comp] {
+          op->accumulate_block(src_real, idx, d, nb, block, acc, comp);
+        },
+        name.c_str());
+  }
+
+  void accumulate_weighted(Executor& ex, const Stream& s,
+                           const CS* weight_real, const size_t* idx, size_t nb,
+                           const CS* block, cplx* acc, cplx* comp) const {
+    const auto name = detail::kernel_name("accumulate_weighted",
+                                          detail::precision_suffix<CS>());
+    ex.launch(
+        s,
+        [op = xop, weight_real, idx, nb, block, acc, comp] {
+          op->accumulate_weighted_block(weight_real, idx, nb, block, acc,
+                                        comp);
+        },
+        name.c_str());
+  }
+
+  // The gather back to the sphere stays FP64 in every precision mode.
+  void gather(Executor& ex, const Stream& s, const cplx* acc, cplx* scratch,
+              cplx* out_col) const {
+    ex.launch(
+        s,
+        [op = xop, acc, scratch, out_col] {
+          op->gather_accumulate(acc, scratch, out_col);
+        },
+        "xchg.gather.fp64");
+  }
+};
+
+extern template struct ExchangeKernels<cplx>;
+extern template struct ExchangeKernels<cplxf>;
+
+}  // namespace ptim::backend

@@ -1,0 +1,139 @@
+#pragma once
+// Stream / Event handles of the execution-backend subsystem.
+//
+// The model mirrors CUDA's queue semantics so a real GPU backend can plug
+// in behind the same interface:
+//  * a Stream is an in-order work queue — tasks launched on one stream run
+//    in submission order; tasks on different streams may run concurrently,
+//  * an Event marks a point in a stream; another stream (or the host) can
+//    wait on it, which is the only cross-stream ordering primitive,
+//  * handles are cheap shared references; destroying the last reference to
+//    a HostAsync stream drains and joins its worker thread.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace ptim::backend {
+
+namespace detail {
+
+// Completion flag with host- and stream-visible waiting.
+struct EventState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+
+  void signal() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      done = true;
+    }
+    cv.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+  }
+  bool is_done() {
+    std::lock_guard<std::mutex> lock(mu);
+    return done;
+  }
+};
+
+// Worker-thread FIFO behind a HostAsync stream. HostSerial streams carry a
+// null StreamState (nothing to run — launches execute inline).
+class StreamState {
+ public:
+  explicit StreamState(std::string name) : name_(std::move(name)) {
+    worker_ = std::thread([this] { run(); });
+  }
+  ~StreamState() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    worker_.join();
+  }
+  StreamState(const StreamState&) = delete;
+  StreamState& operator=(const StreamState&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  void enqueue(std::function<void()> fn) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(fn));
+    }
+    cv_work_.notify_one();
+  }
+
+  // Host-side wait until the queue is empty and the worker idle; rethrows
+  // the first task exception recorded since the previous drain.
+  void drain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_idle_.wait(lock, [&] { return queue_.empty() && !busy_; });
+    if (error_) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_work_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      std::function<void()> task = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+      lock.unlock();
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> g(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+      lock.lock();
+      busy_ = false;
+      if (queue_.empty()) cv_idle_.notify_all();
+    }
+  }
+
+  std::string name_;
+  std::mutex mu_;
+  std::condition_variable cv_work_, cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  bool busy_ = false;
+  bool stop_ = false;
+  std::exception_ptr error_;
+  std::thread worker_;
+};
+
+}  // namespace detail
+
+// In-order work queue handle. state == nullptr for inline (HostSerial)
+// streams.
+struct Stream {
+  std::shared_ptr<detail::StreamState> state;
+  std::string name;
+};
+
+// Marker in a stream's task sequence. Always valid once returned from
+// Executor::record (HostSerial events are born signaled).
+struct Event {
+  std::shared_ptr<detail::EventState> state;
+};
+
+}  // namespace ptim::backend

@@ -71,6 +71,15 @@ class Simulation {
   }
   Precision exchange_precision() const { return h_->exchange_precision(); }
 
+  // Execution backend of the distributed exchange ring (backend/): kSync
+  // legacy host path, kHostSerial inline streams, kHostAsync overlapped
+  // compute/comm. Recorded in the spec so per-rank Hamiltonians inherit it.
+  void set_exchange_backend(backend::Kind k) {
+    spec_.ham.exchange.backend = k;
+    h_->set_exchange_backend(k);
+  }
+  backend::Kind exchange_backend() const { return h_->exchange_backend(); }
+
   // --- band-parallel propagation ----------------------------------------
   // Fresh Hamiltonian over this simulation's (shared, read-only) grids and
   // atoms: each ptmpi rank of a distributed run needs its own instance

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "backend/executor.hpp"
+#include "backend/kernels.hpp"
 #include "dist/circulate.hpp"
 #include "dist/rotate.hpp"
 
@@ -17,6 +19,17 @@ const char* pattern_name(ExchangePattern p) {
 }
 
 namespace {
+
+// Execution backend of the ring: kSync runs the legacy host-synchronous
+// engine; kHostSerial / kHostAsync run the stream-pipelined engine (comm
+// and compute as stream tasks, double-buffered slabs). The per-slab apply
+// order is identical in every mode, so results are bit-identical.
+backend::Executor* executor_for(const ham::ExchangeOperator& xop) {
+  const backend::Kind k = xop.options().backend;
+  if (k == backend::Kind::kSync) return nullptr;
+  backend::register_exchange_kernels();
+  return &backend::shared_executor(k);
+}
 
 // Circulation bodies shared by the FP64 and FP32 pipelines, templated over
 // the slab scalar (CS = cplx or cplxf) so the precision modes cannot drift
@@ -44,7 +57,8 @@ la::MatC diag_circulation(ptmpi::Comm& c, const ham::ExchangeOperator& xop,
     xop.apply_diag_realspace(slab, w, d_all.data() + src_bands.offset(origin),
                              tgt_local, out, /*accumulate=*/true);
   };
-  circulate_slabs(c, src_bands, ng, mine, pat, apply_block);
+  circulate_slabs(c, src_bands, ng, mine, pat, apply_block,
+                  executor_for(xop));
   return out;
 }
 
@@ -86,7 +100,8 @@ la::MatC mixed_circulation(ptmpi::Comm& c, const ham::ExchangeOperator& xop,
     xop.apply_weighted_realspace(phis.data(), thetas.data(), w, tgt_local, out,
                                  /*accumulate=*/true);
   };
-  circulate_slabs(c, src_bands, 2 * ng, mine, pat, apply_block);
+  circulate_slabs(c, src_bands, 2 * ng, mine, pat, apply_block,
+                  executor_for(xop));
   return out;
 }
 

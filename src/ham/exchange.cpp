@@ -165,12 +165,119 @@ void ExchangeOperator::kernel_filter_block(cplxf* block, size_t nb) const {
   fft_count += static_cast<long>(2 * nb);
 }
 
+// --- stage primitives ------------------------------------------------------
+// The four hot-path stages, each the exact loop the fused engines below are
+// assembled from. They are public (and wrapped by backend/kernels as
+// enqueueable stream kernels) so a stage-by-stage composition is
+// bit-identical to the batched applies by construction.
+
+template <typename CS>
+void ExchangeOperator::pair_form_block_t(const CS* src_real, const size_t* idx,
+                                         size_t nb, const CS* tgt_real,
+                                         CS* block) const {
+  const size_t ng = map_->grid().size();
+  // Pair densities for the whole block, one fused parallel region.
+#pragma omp parallel for schedule(static) collapse(2)
+  for (size_t i = 0; i < nb; ++i)
+    for (size_t r = 0; r < ng; ++r)
+      block[i * ng + r] = std::conj(src_real[idx[i] * ng + r]) * tgt_real[r];
+}
+
+template <typename CS>
+void ExchangeOperator::accumulate_block_t(const CS* src_real, const size_t* idx,
+                                          const real_t* d, size_t nb,
+                                          const CS* block, cplx* acc,
+                                          cplx* comp) const {
+  const size_t ng = map_->grid().size();
+  // Fused accumulate over the block; parallel over grid points so the
+  // acc[] updates never race.
+#pragma omp parallel for schedule(static)
+  for (size_t r = 0; r < ng; ++r) {
+    for (size_t i = 0; i < nb; ++i) {
+      const size_t s = idx[i];
+      // Undo the inverse-FFT 1/Ng scaling (unscaled synthesis wanted).
+      const cplx term = (d[s] * static_cast<real_t>(ng)) *
+                        static_cast<cplx>(src_real[s * ng + r]) *
+                        static_cast<cplx>(block[i * ng + r]);
+      if (comp)
+        kahan_add(acc[r], comp[r], term);
+      else
+        acc[r] += term;
+    }
+  }
+}
+
+template <typename CS>
+void ExchangeOperator::accumulate_weighted_block_t(const CS* weight_real,
+                                                   const size_t* idx, size_t nb,
+                                                   const CS* block, cplx* acc,
+                                                   cplx* comp) const {
+  const size_t ng = map_->grid().size();
+#pragma omp parallel for schedule(static)
+  for (size_t r = 0; r < ng; ++r) {
+    for (size_t i = 0; i < nb; ++i) {
+      // Undo the inverse-FFT 1/Ng scaling (unscaled synthesis wanted).
+      const cplx term = static_cast<real_t>(ng) *
+                        static_cast<cplx>(weight_real[idx[i] * ng + r]) *
+                        static_cast<cplx>(block[i * ng + r]);
+      if (comp)
+        kahan_add(acc[r], comp[r], term);
+      else
+        acc[r] += term;
+    }
+  }
+}
+
+void ExchangeOperator::pair_form_block(const cplx* src_real, const size_t* idx,
+                                       size_t nb, const cplx* tgt_real,
+                                       cplx* block) const {
+  pair_form_block_t(src_real, idx, nb, tgt_real, block);
+}
+void ExchangeOperator::pair_form_block(const cplxf* src_real, const size_t* idx,
+                                       size_t nb, const cplxf* tgt_real,
+                                       cplxf* block) const {
+  pair_form_block_t(src_real, idx, nb, tgt_real, block);
+}
+void ExchangeOperator::accumulate_block(const cplx* src_real, const size_t* idx,
+                                        const real_t* d, size_t nb,
+                                        const cplx* block, cplx* acc,
+                                        cplx* comp) const {
+  accumulate_block_t(src_real, idx, d, nb, block, acc, comp);
+}
+void ExchangeOperator::accumulate_block(const cplxf* src_real,
+                                        const size_t* idx, const real_t* d,
+                                        size_t nb, const cplxf* block,
+                                        cplx* acc, cplx* comp) const {
+  accumulate_block_t(src_real, idx, d, nb, block, acc, comp);
+}
+void ExchangeOperator::accumulate_weighted_block(const cplx* weight_real,
+                                                 const size_t* idx, size_t nb,
+                                                 const cplx* block, cplx* acc,
+                                                 cplx* comp) const {
+  accumulate_weighted_block_t(weight_real, idx, nb, block, acc, comp);
+}
+void ExchangeOperator::accumulate_weighted_block(const cplxf* weight_real,
+                                                 const size_t* idx, size_t nb,
+                                                 const cplxf* block, cplx* acc,
+                                                 cplx* comp) const {
+  accumulate_weighted_block_t(weight_real, idx, nb, block, acc, comp);
+}
+
+void ExchangeOperator::gather_accumulate(const cplx* acc, cplx* scratch,
+                                         cplx* out_col) const {
+  map_->to_sphere(acc, scratch);
+  const size_t npw = map_->sphere().npw();
+  const real_t a = -opt_.alpha;
+  for (size_t p = 0; p < npw; ++p) out_col[p] += a * scratch[p];
+}
+
 // Shared batched block engine for the diag paths, templated over the slab
 // scalar: CS = cplx runs the FP64 pipeline, CS = cplxf the FP32 one (pair
 // forming, FFTs and kernel filter in single precision; every float product
 // is promoted to FP64 exactly once inside the accumulation, which runs
 // plain or Kahan-compensated depending on the policy). batch_size == 1
 // degenerates to width-1 blocks, preserving the per-pair transform count.
+// The body is a straight-line composition of the stage primitives above.
 template <typename CS>
 void ExchangeOperator::pair_accumulate_blocks(const CS* src_real,
                                               const real_t* d,
@@ -191,34 +298,13 @@ void ExchangeOperator::pair_accumulate_blocks(const CS* src_real,
     std::fill(comp.begin(), comp.end(), cplx(0.0));
     for (size_t i0 = 0; i0 < active.size(); i0 += bs) {
       const size_t nb = std::min(bs, active.size() - i0);
-      // Pair densities for the whole block, one fused parallel region.
-#pragma omp parallel for schedule(static) collapse(2)
-      for (size_t i = 0; i < nb; ++i)
-        for (size_t r = 0; r < ng; ++r)
-          block[i * ng + r] =
-              std::conj(src_real[active[i0 + i] * ng + r]) * tgt_real[r];
+      pair_form_block_t(src_real, active.data() + i0, nb, tgt_real.data(),
+                        block.data());
       kernel_filter_block(block.data(), nb);
-      // Fused accumulate over the block; parallel over grid points so the
-      // acc[] updates never race.
-#pragma omp parallel for schedule(static)
-      for (size_t r = 0; r < ng; ++r) {
-        for (size_t i = 0; i < nb; ++i) {
-          const size_t s = active[i0 + i];
-          // Undo the inverse-FFT 1/Ng scaling (unscaled synthesis wanted).
-          const cplx term = (d[s] * static_cast<real_t>(ng)) *
-                            static_cast<cplx>(src_real[s * ng + r]) *
-                            static_cast<cplx>(block[i * ng + r]);
-          if (compensated)
-            kahan_add(acc[r], comp[r], term);
-          else
-            acc[r] += term;
-        }
-      }
+      accumulate_block_t(src_real, active.data() + i0, d, nb, block.data(),
+                         acc.data(), compensated ? comp.data() : nullptr);
     }
-    map_->to_sphere(acc.data(), gathered.data());
-    cplx* oj = out.col(j);
-    const real_t a = -opt_.alpha;
-    for (size_t p = 0; p < tgt.rows(); ++p) oj[p] += a * gathered[p];
+    gather_accumulate(acc.data(), gathered.data(), out.col(j));
   }
 }
 
@@ -235,6 +321,11 @@ void ExchangeOperator::weighted_blocks(const CS* src_real,
   const bool compensated = std::is_same_v<CS, cplxf> &&
                            opt_.precision == Precision::kSingleCompensated;
 
+  // Every source participates (the weight field carries the sigma
+  // contraction), so the stage index list is the identity.
+  std::vector<size_t> idx(nsrc);
+  for (size_t i = 0; i < nsrc; ++i) idx[i] = i;
+
   std::vector<CS> tgt_real(ng), block(bs * ng);
   std::vector<cplx> acc(ng), comp(compensated ? ng : 0), gathered(tgt.rows());
   for (size_t j = 0; j < ntgt; ++j) {
@@ -243,30 +334,14 @@ void ExchangeOperator::weighted_blocks(const CS* src_real,
     std::fill(comp.begin(), comp.end(), cplx(0.0));
     for (size_t i0 = 0; i0 < nsrc; i0 += bs) {
       const size_t nb = std::min(bs, nsrc - i0);
-#pragma omp parallel for schedule(static) collapse(2)
-      for (size_t i = 0; i < nb; ++i)
-        for (size_t r = 0; r < ng; ++r)
-          block[i * ng + r] =
-              std::conj(src_real[(i0 + i) * ng + r]) * tgt_real[r];
+      pair_form_block_t(src_real, idx.data() + i0, nb, tgt_real.data(),
+                        block.data());
       kernel_filter_block(block.data(), nb);
-#pragma omp parallel for schedule(static)
-      for (size_t r = 0; r < ng; ++r) {
-        for (size_t i = 0; i < nb; ++i) {
-          // Undo the inverse-FFT 1/Ng scaling (unscaled synthesis wanted).
-          const cplx term = static_cast<real_t>(ng) *
-                            static_cast<cplx>(weight_real[(i0 + i) * ng + r]) *
-                            static_cast<cplx>(block[i * ng + r]);
-          if (compensated)
-            kahan_add(acc[r], comp[r], term);
-          else
-            acc[r] += term;
-        }
-      }
+      accumulate_weighted_block_t(weight_real, idx.data() + i0, nb,
+                                  block.data(), acc.data(),
+                                  compensated ? comp.data() : nullptr);
     }
-    map_->to_sphere(acc.data(), gathered.data());
-    cplx* oj = out.col(j);
-    const real_t a = -opt_.alpha;
-    for (size_t p = 0; p < tgt.rows(); ++p) oj[p] += a * gathered[p];
+    gather_accumulate(acc.data(), gathered.data(), out.col(j));
   }
 }
 

@@ -31,6 +31,7 @@
 #include <atomic>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "la/matrix.hpp"
 #include "pw/transforms.hpp"
 
@@ -47,6 +48,11 @@ struct ExchangeOptions {
   size_t batch_size = 8;
   // Scalar type of the pair-FFT hot path and ring payloads (see above).
   Precision precision = Precision::kDouble;
+  // Execution backend of the distributed ring exchange (dist/): kSync runs
+  // the legacy host-synchronous circulation; kHostSerial / kHostAsync run
+  // the stream-pipelined engine where the slab transfer overlaps the
+  // previous slab's compute. Bit-identical in every mode.
+  backend::Kind backend = backend::default_kind();
 };
 
 class ExchangeOperator {
@@ -60,6 +66,10 @@ class ExchangeOperator {
   // built); benches/tests sweep modes on one operator this way.
   void set_precision(Precision p) { opt_.precision = p; }
   Precision precision() const { return opt_.precision; }
+
+  // Execution backend of the distributed ring (see ExchangeOptions).
+  void set_backend(backend::Kind k) { opt_.backend = k; }
+  backend::Kind backend() const { return opt_.backend; }
 
   // out (+)= alpha*Vx*tgt with sources (src, d). src/tgt/out: npw x nband.
   void apply_diag(const la::MatC& src, const std::vector<real_t>& d,
@@ -121,6 +131,45 @@ class ExchangeOperator {
                                 const la::MatC& tgt, la::MatC& out,
                                 bool accumulate) const;
 
+  // --- stage primitives --------------------------------------------------
+  // The four hot-path stages of the batched diag/weighted pipelines, public
+  // so backend/kernels can wrap them as enqueueable stream kernels. The
+  // batched apply paths below are built from exactly these calls, so a
+  // stage-by-stage composition on a backend stream is bit-identical to the
+  // fused host apply. idx selects source columns: source i of the block is
+  // column idx[i] of src_real (the compressed active-occupation list).
+  //
+  // pair_form_block: block[i] = conj(src[idx[i]]) ⊙ tgt_real (nb pairs).
+  void pair_form_block(const cplx* src_real, const size_t* idx, size_t nb,
+                       const cplx* tgt_real, cplx* block) const;
+  void pair_form_block(const cplxf* src_real, const size_t* idx, size_t nb,
+                       const cplxf* tgt_real, cplxf* block) const;
+  // kernel_filter_block: forward batch FFT, K(G)/Ng multiply, inverse batch
+  // FFT on nb pair densities (with FFT-count bookkeeping).
+  void kernel_filter_block(cplx* block, size_t nb) const;
+  void kernel_filter_block(cplxf* block, size_t nb) const;
+  // accumulate_block: acc[r] += sum_i d[idx[i]]*Ng * src[idx[i]](r) *
+  // block[i](r), FP64 regardless of the block scalar; comp != nullptr
+  // selects the Kahan-compensated sum (kSingleCompensated policy).
+  void accumulate_block(const cplx* src_real, const size_t* idx,
+                        const real_t* d, size_t nb, const cplx* block,
+                        cplx* acc, cplx* comp) const;
+  void accumulate_block(const cplxf* src_real, const size_t* idx,
+                        const real_t* d, size_t nb, const cplxf* block,
+                        cplx* acc, cplx* comp) const;
+  // Weighted variant (mixed-state path): the scalar occupation is replaced
+  // by the real-space weight field w, acc[r] += sum_i Ng * w[idx[i]](r) *
+  // block[i](r).
+  void accumulate_weighted_block(const cplx* weight_real, const size_t* idx,
+                                 size_t nb, const cplx* block, cplx* acc,
+                                 cplx* comp) const;
+  void accumulate_weighted_block(const cplxf* weight_real, const size_t* idx,
+                                 size_t nb, const cplxf* block, cplx* acc,
+                                 cplx* comp) const;
+  // gather_accumulate: out_col[p] += -alpha * to_sphere(acc)[p]. scratch
+  // must hold npw elements; always FP64 (the paper keeps the gather exact).
+  void gather_accumulate(const cplx* acc, cplx* scratch, cplx* out_col) const;
+
   // Real-space transform helper for the distributed paths.
   const pw::SphereGridMap& map() const { return *map_; }
 
@@ -168,10 +217,18 @@ class ExchangeOperator {
   void mixed_naive_blocks(const la::Matrix<CS>& src_real,
                           const la::MatC& sigma, const la::MatC& tgt,
                           la::MatC& out) const;
-  // Shared middle of every batched path: forward_batch, K(G)/Ng multiply,
-  // inverse_batch on nb pair densities, with the FFT-count bookkeeping.
-  void kernel_filter_block(cplx* block, size_t nb) const;
-  void kernel_filter_block(cplxf* block, size_t nb) const;
+  // Templated bodies behind the public per-scalar stage overloads.
+  template <typename CS>
+  void pair_form_block_t(const CS* src_real, const size_t* idx, size_t nb,
+                         const CS* tgt_real, CS* block) const;
+  template <typename CS>
+  void accumulate_block_t(const CS* src_real, const size_t* idx,
+                          const real_t* d, size_t nb, const CS* block,
+                          cplx* acc, cplx* comp) const;
+  template <typename CS>
+  void accumulate_weighted_block_t(const CS* weight_real, const size_t* idx,
+                                   size_t nb, const CS* block, cplx* acc,
+                                   cplx* comp) const;
 
   const pw::SphereGridMap* map_;
   ExchangeOptions opt_;

@@ -73,6 +73,11 @@ class Hamiltonian {
   // payloads); everything else the Hamiltonian computes stays FP64.
   void set_exchange_precision(Precision p) { xop_.set_precision(p); }
   Precision exchange_precision() const { return xop_.precision(); }
+  // Execution backend of the distributed ring exchange (sync / serial /
+  // async streams); see backend/backend.hpp. Results are bit-identical in
+  // every mode.
+  void set_exchange_backend(backend::Kind k) { xop_.set_backend(k); }
+  backend::Kind exchange_backend() const { return xop_.backend(); }
   void set_ace(AceOperator ace) { ace_ = std::move(ace); xmode_ = ExchangeMode::kAce; }
   const AceOperator& ace() const { return ace_; }
 

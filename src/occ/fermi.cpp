@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/error.hpp"
 
@@ -15,19 +16,97 @@ real_t fermi_dirac(real_t eps, real_t mu, real_t kt) {
   return 1.0 / (1.0 + std::exp(x));
 }
 
+namespace {
+
+// Zero-temperature limit: step occupations. At kT <= 0 fermi_dirac is the
+// step 1 / 0.5 / 0 for eps below / at / above mu, so the possible counts
+// are 2 * (#states below mu) + (#states at mu). Two placements exist:
+//  * mu mid-gap — fully fills the lowest nelec/2 orbitals,
+//  * mu ON a degenerate shell — every shell member at exactly 0.5, which
+//    holds the count iff the remaining electrons equal the shell
+//    multiplicity (this is also the kT -> 0+ limit of the smeared
+//    occupations: a half-filled symmetric shell).
+// Counts no placement can hold are reported instead of silently
+// mis-occupied.
+real_t find_mu_zero_t(const std::vector<real_t>& eps, real_t nelec) {
+  std::vector<real_t> sorted = eps;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+  const real_t ne2 = 0.5 * nelec;
+  const auto nfull = static_cast<size_t>(ne2 + 1e-9);
+  const real_t frac = ne2 - static_cast<real_t>(nfull);
+  // Degeneracy tolerance: states closer than this are one shell.
+  const real_t tol = 1e-10;
+
+  if (std::abs(frac) < 1e-9) {  // integer orbital filling
+    if (nfull == 0) return sorted.front() - 1.0;
+    if (nfull == n) return sorted.back() + 1.0;
+    if (sorted[nfull] - sorted[nfull - 1] > tol)
+      return 0.5 * (sorted[nfull - 1] + sorted[nfull]);
+    // No gap at the would-be Fermi energy: fall through to the shell case.
+  }
+  // mu sits on the shell containing sorted[nfull]: members occupy 0.5
+  // each (fermi_dirac(eps == mu) — exact), states strictly below are
+  // full.
+  PTIM_CHECK_MSG(nfull < n, "find_mu: filling beyond the basis");
+  const real_t level = sorted[nfull];
+  size_t nbelow = 0, multiplicity = 0;
+  for (const real_t e : sorted) {
+    if (e < level - tol) ++nbelow;
+    if (std::abs(e - level) <= tol) ++multiplicity;
+  }
+  const real_t in_shell = nelec - 2.0 * static_cast<real_t>(nbelow);
+  if (std::abs(in_shell - static_cast<real_t>(multiplicity)) > 1e-9)
+    throw Error(
+        "find_mu: kT = 0 cannot represent " + std::to_string(nelec) +
+        " electrons with step occupations — the degenerate Fermi-level "
+        "shell at eps = " +
+        std::to_string(level) + " (multiplicity " +
+        std::to_string(multiplicity) + ", " +
+        std::to_string(2 * nbelow) + " electrons below) would have to "
+        "hold " +
+        std::to_string(in_shell) + "; use kT > 0 (fractional smearing)");
+  return level;
+}
+
+}  // namespace
+
 real_t find_mu(const std::vector<real_t>& eps, real_t nelec, real_t kt) {
   PTIM_CHECK_MSG(!eps.empty(), "find_mu: no eigenvalues");
   PTIM_CHECK_MSG(nelec > 0.0 &&
                      nelec <= 2.0 * static_cast<real_t>(eps.size()) + 1e-9,
                  "find_mu: electron count " << nelec << " not representable by "
                                             << eps.size() << " orbitals");
+  // kT -> 0: bisection degenerates (the counting function is a staircase);
+  // return the chemical potential that reproduces the zero-temperature
+  // step occupations directly.
+  if (kt <= 0.0) return find_mu_zero_t(eps, nelec);
+
   auto count = [&](real_t mu) {
     real_t n = 0.0;
     for (const real_t e : eps) n += 2.0 * fermi_dirac(e, mu, kt);
     return n;
   };
+  const real_t nmax = 2.0 * static_cast<real_t>(eps.size());
+  // Completely filled (or asymptotically filled) spectra never bracket:
+  // count(mu) < nelec for every finite mu. Saturate explicitly.
+  if (nelec >= nmax - 1e-9)
+    return *std::max_element(eps.begin(), eps.end()) + 40.0 * kt;
+
   real_t lo = *std::min_element(eps.begin(), eps.end()) - 10.0 * (kt + 1.0);
   real_t hi = *std::max_element(eps.begin(), eps.end()) + 10.0 * (kt + 1.0);
+  // Verify (and if needed expand) the bracket before bisecting — degenerate
+  // spectra with very small kT make count() extremely steep, and a bad
+  // bracket would silently converge to a wrong edge.
+  real_t width = hi - lo;
+  for (int grow = 0; count(lo) > nelec && grow < 60; ++grow, width *= 2.0)
+    lo -= width;
+  for (int grow = 0; count(hi) < nelec && grow < 60; ++grow, width *= 2.0)
+    hi += width;
+  if (count(lo) > nelec || count(hi) < nelec)
+    throw Error("find_mu: electron count " + std::to_string(nelec) +
+                " is unbracketable for this spectrum at kT = " +
+                std::to_string(kt) + " Ha");
   for (int it = 0; it < 200; ++it) {
     const real_t mid = 0.5 * (lo + hi);
     if (count(mid) < nelec)

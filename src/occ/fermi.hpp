@@ -13,7 +13,12 @@ namespace ptim::occ {
 // f(eps) = 1 / (1 + exp((eps - mu)/kT)); kT in Hartree.
 real_t fermi_dirac(real_t eps, real_t mu, real_t kt);
 
-// Find mu such that 2 * sum_i f(eps_i) = nelec.
+// Find mu such that 2 * sum_i f(eps_i) = nelec. kT <= 0 returns the
+// zero-temperature limit (mu mid-gap, reproducing step occupations);
+// electron counts no arrangement of occupations can bracket — a
+// degenerate level straddling the Fermi energy at kT = 0, or a
+// non-bracketable count after bisection-bracket expansion — throw a
+// descriptive ptim::Error.
 real_t find_mu(const std::vector<real_t>& eps, real_t nelec, real_t kt);
 
 // Occupation vector for the given eigenvalues.

@@ -1,6 +1,7 @@
 #include "ptmpi/comm.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 
@@ -10,9 +11,17 @@ namespace ptim::ptmpi {
 
 namespace {
 
+// Wire model (set_wire_model): messages carry an arrival deadline computed
+// at push time; pop blocks until the deadline passes. Zero = off.
+std::atomic<double> g_wire_base{0.0};
+std::atomic<double> g_wire_per_byte{0.0};
+
+using wire_clock = std::chrono::steady_clock;
+
 struct Message {
   int tag;
   std::vector<unsigned char> payload;
+  wire_clock::time_point ready_at;
 };
 
 // Mailbox per destination rank.
@@ -59,6 +68,13 @@ class World {
     if (bytes > 0)  // zero-byte messages are legal (empty band blocks)
       msg.payload.assign(static_cast<const unsigned char*>(data),
                          static_cast<const unsigned char*>(data) + bytes);
+    msg.ready_at =
+        wire_clock::now() +
+        std::chrono::duration_cast<wire_clock::duration>(
+            std::chrono::duration<double>(
+                g_wire_base.load(std::memory_order_relaxed) +
+                static_cast<double>(bytes) *
+                    g_wire_per_byte.load(std::memory_order_relaxed)));
     {
       std::lock_guard<std::mutex> lock(mb.mu);
       mb.queues[src].push_back(std::move(msg));
@@ -71,8 +87,18 @@ class World {
     std::unique_lock<std::mutex> lock(mb.mu);
     for (;;) {
       auto& q = mb.queues[src];
+      bool waiting_on_wire = false;
+      wire_clock::time_point deadline{};
       for (auto it = q.begin(); it != q.end(); ++it) {
         if (it->tag == tag) {
+          // FIFO per (src, tag): the first match is THE message; if its
+          // wire deadline has not passed yet, wait for it rather than
+          // skipping ahead to a later (out-of-order) one.
+          if (it->ready_at > wire_clock::now()) {
+            waiting_on_wire = true;
+            deadline = it->ready_at;
+            break;
+          }
           PTIM_CHECK_MSG(it->payload.size() == bytes,
                          "ptmpi: message size mismatch (tag " << tag << ")");
           if (bytes > 0) std::memcpy(data, it->payload.data(), bytes);
@@ -80,7 +106,10 @@ class World {
           return;
         }
       }
-      mb.cv.wait(lock);
+      if (waiting_on_wire)
+        mb.cv.wait_until(lock, deadline);
+      else
+        mb.cv.wait(lock);
     }
   }
 
@@ -339,6 +368,11 @@ cplx* Comm::shm_allocate(const std::string& name, size_t n) {
   cplx* p = world_->shm(name, node(), n);
   world_->barrier();
   return p;
+}
+
+void set_wire_model(double base_seconds, double seconds_per_byte) {
+  g_wire_base.store(base_seconds, std::memory_order_relaxed);
+  g_wire_per_byte.store(seconds_per_byte, std::memory_order_relaxed);
 }
 
 // ------------------------------------------------------------ run_ranks --

@@ -139,6 +139,17 @@ class Comm {
   int rank_;
 };
 
+// Synthetic wire model for overlap benches: a point-to-point message
+// becomes visible to the receiver only base_seconds + bytes *
+// seconds_per_byte after the send was posted; recv/wait block until then.
+// (0, 0) — the default — restores instantaneous in-process delivery.
+// Applies to send/isend/sendrecv/alltoallv (the mailbox path); the
+// barrier-based collectives are unaffected. This is what makes the
+// overlapped ring's compute/comm overlap measurable on one machine: with
+// a wire time per slab, the serialized ring pays compute + wire per round
+// while the pipelined ring pays max(compute, wire).
+void set_wire_model(double base_seconds, double seconds_per_byte);
+
 // Launch `nranks` std::threads, each running fn(comm). Exceptions in any
 // rank are re-thrown on the caller thread.
 void run_ranks(int nranks, int ranks_per_node,

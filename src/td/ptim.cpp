@@ -22,6 +22,7 @@ PtImPropagator::PtImPropagator(ham::Hamiltonian& h, PtImOptions opt,
     : h_(&h), opt_(opt), laser_(laser) {
   if (opt_.exchange_precision)
     h_->set_exchange_precision(*opt_.exchange_precision);
+  if (opt_.exchange_backend) h_->set_exchange_backend(*opt_.exchange_backend);
 }
 
 void PtImPropagator::configure_exchange_midpoint(const la::MatC& phih,

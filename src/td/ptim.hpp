@@ -44,6 +44,12 @@ struct PtImOptions {
   // Anderson mixing, orthonormalization, sigma evolution — stays FP64.
   // Unset keeps whatever the Hamiltonian was configured with.
   std::optional<Precision> exchange_precision;
+  // Execution backend of the distributed exchange ring (backend subsystem:
+  // kSync legacy, kHostSerial inline streams, kHostAsync overlapped
+  // compute/comm). Applied like exchange_precision; unset keeps the
+  // Hamiltonian's configuration. Trajectories are bit-identical across
+  // backends.
+  std::optional<backend::Kind> exchange_backend;
   // false = PT-CN mode: freeze sigma and evolve only Phi — the earlier
   // parallel-transport Crank-Nicolson scheme (Jia et al., JCTC 2018) that
   // is valid for gapped/pure-state systems. PT-IM generalizes it to mixed

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "backend/buffer.hpp"
 #include "dist/exchange_dist.hpp"
 #include "dist/layout.hpp"
 #include "dist/mixer_dist.hpp"
@@ -450,4 +451,46 @@ TEST(ExchangeDist, RingUsesSendrecvNotBcast) {
   EXPECT_EQ(s_async[0].ops.count("Bcast"), 0u);
   EXPECT_EQ(s_async[0].ops.count("Sendrecv"), 0u);
   EXPECT_GT(s_async[0].ops.at("Wait").calls, 0);
+}
+
+TEST(ExchangeDist, RingReusesPersistentSlabBuffers) {
+  // Drive-by fix pin: the circulation engine must hold its slab storage in
+  // a FIXED set of persistent buffers reused across all p rounds (double
+  // buffering), never reallocating per round — on a device backend a
+  // per-round allocation would serialize the streams. The global
+  // backend::Buffer allocation counter makes the property observable:
+  // rings cost exactly 2 buffers per rank, Bcast 1, independent of the
+  // number of rounds, in both the sync and the stream-pipelined engines.
+  XEnv e;
+  const size_t npw = e.sys.sphere->npw();
+  const la::MatC src = test::random_orbitals(npw, 6, 460);
+  const std::vector<real_t> d{1.0, 0.8, 0.6, 0.4, 0.2, 0.1};
+
+  for (const auto kind : {backend::Kind::kSync, backend::Kind::kHostAsync}) {
+    ham::ExchangeOptions opt;
+    opt.backend = kind;
+    ham::ExchangeOperator xop(e.map, opt);
+    for (const int p : {2, 3, 6}) {  // round count varies 2 -> 6
+      for (const auto pat :
+           {dist::ExchangePattern::kBcast, dist::ExchangePattern::kRing,
+            dist::ExchangePattern::kAsyncRing}) {
+        const long before = backend::buffer_alloc_count();
+        ptmpi::run_ranks(p, 2, [&](ptmpi::Comm& c) {
+          (void)dist::exchange_apply_distributed(c, xop, src, d, src, pat);
+        });
+        // Pipelined engines double-buffer every pattern; the sync engine
+        // single-buffers Bcast. Assert the exact TOTAL so a single rank
+        // over-allocating cannot hide in integer division.
+        const long expected_per_rank =
+            (kind == backend::Kind::kSync &&
+             pat == dist::ExchangePattern::kBcast)
+                ? 1
+                : 2;
+        EXPECT_EQ(backend::buffer_alloc_count() - before,
+                  expected_per_rank * p)
+            << backend::kind_name(kind) << " " << dist::pattern_name(pat)
+            << " p=" << p;
+      }
+    }
+  }
 }

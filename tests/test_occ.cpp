@@ -1,0 +1,181 @@
+// Finite-temperature occupations: chemical-potential bisection against
+// analytic solutions, electron-count conservation across a kT sweep, the
+// hardened kT -> 0 limit (step occupations, descriptive failure on
+// unbracketable counts), entropy sign/limits, and the TdState sigma trace.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "la/matrix.hpp"
+#include "occ/fermi.hpp"
+#include "td/state.hpp"
+
+using namespace ptim;
+
+TEST(Fermi, TwoLevelAnalytic) {
+  // Half filling of a symmetric two-level system puts mu mid-gap:
+  // f(e1) + f(e2) = 1 iff mu = (e1 + e2)/2. (At kT << gap the counting
+  // function is flat across the whole gap — fermi_dirac saturates beyond
+  // |x| > 40 — so the mid-gap value is only identifiable once 40 kT
+  // exceeds the half-gap; below that any in-gap mu is equally valid.)
+  const std::vector<real_t> eps = {-0.3, 0.5};
+  for (const real_t kt : {0.02, 0.1, 1.0}) {
+    const real_t mu = occ::find_mu(eps, 2.0, kt);
+    EXPECT_NEAR(mu, 0.1, 1e-8) << "kt=" << kt;
+    const auto f = occ::occupations(eps, mu, kt);
+    EXPECT_NEAR(f[0] + f[1], 1.0, 1e-10);
+    // Analytic occupation of the lower level.
+    EXPECT_NEAR(f[0], 1.0 / (1.0 + std::exp((-0.3 - 0.1) / kt)), 1e-10);
+  }
+  // Deep in the clamped regime the located mu still reproduces the
+  // electron count exactly (occupations saturate to the step).
+  for (const real_t kt : {1e-3, 1e-2}) {
+    const auto f = occ::occupations(eps, occ::find_mu(eps, 2.0, kt), kt);
+    EXPECT_NEAR(f[0] + f[1], 1.0, 1e-10) << "kt=" << kt;
+  }
+}
+
+TEST(Fermi, ElectronCountConservedAcrossKtSweep) {
+  const std::vector<real_t> eps = {-1.2, -0.7, -0.69, 0.1, 0.4, 0.41, 1.3};
+  const real_t nelec = 7.0;  // odd count, fractional occupations
+  for (const real_t kt : {1e-4, 1e-3, 1e-2, 0.05, 0.2, 1.0}) {
+    const real_t mu = occ::find_mu(eps, nelec, kt);
+    const auto f = occ::occupations(eps, mu, kt);
+    real_t n = 0.0;
+    for (const real_t fi : f) n += 2.0 * fi;
+    EXPECT_NEAR(n, nelec, 1e-7) << "kt=" << kt;
+  }
+}
+
+TEST(Fermi, ZeroTemperatureStepOccupations) {
+  const std::vector<real_t> eps = {0.3, -0.5, 0.1, 0.9};  // unsorted input
+  const real_t mu = occ::find_mu(eps, 4.0, 0.0);
+  // mu lands mid-gap between the 2nd and 3rd sorted eigenvalues.
+  EXPECT_GT(mu, 0.1);
+  EXPECT_LT(mu, 0.3);
+  const auto f = occ::occupations(eps, mu, 0.0);
+  EXPECT_DOUBLE_EQ(f[0], 0.0);
+  EXPECT_DOUBLE_EQ(f[1], 1.0);
+  EXPECT_DOUBLE_EQ(f[2], 1.0);
+  EXPECT_DOUBLE_EQ(f[3], 0.0);
+}
+
+TEST(Fermi, ZeroTemperatureFractionalFilling) {
+  // 3 electrons in 2 well-separated levels: one full pair + a half-filled
+  // HOMO exactly at mu.
+  const std::vector<real_t> eps = {-0.4, 0.2};
+  const real_t mu = occ::find_mu(eps, 3.0, 0.0);
+  EXPECT_DOUBLE_EQ(mu, 0.2);
+  const auto f = occ::occupations(eps, mu, 0.0);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);
+  EXPECT_DOUBLE_EQ(f[1], 0.5);
+}
+
+TEST(Fermi, KtToZeroLimitMatchesStep) {
+  const std::vector<real_t> eps = {-0.8, -0.2, 0.3, 1.0};
+  const auto f0 = occ::occupations(eps, occ::find_mu(eps, 4.0, 0.0), 0.0);
+  const real_t kt = 1e-6;
+  const auto f = occ::occupations(eps, occ::find_mu(eps, 4.0, kt), kt);
+  for (size_t i = 0; i < eps.size(); ++i) EXPECT_NEAR(f[i], f0[i], 1e-9);
+}
+
+TEST(Fermi, DegenerateShellAtZeroTemperature) {
+  // A degenerate Fermi-level shell IS representable at kT = 0 when the
+  // remaining electrons exactly half-fill it (the kT -> 0+ limit of the
+  // smeared occupations): mu sits on the shell, members at 0.5 each.
+  {
+    // Spin-degenerate two-fold HOMO, ordinary even filling.
+    const std::vector<real_t> eps = {-0.5, 0.0, 0.0};
+    const real_t mu = occ::find_mu(eps, 4.0, 0.0);
+    EXPECT_DOUBLE_EQ(mu, 0.0);
+    const auto f = occ::occupations(eps, mu, 0.0);
+    EXPECT_DOUBLE_EQ(f[0], 1.0);
+    EXPECT_DOUBLE_EQ(f[1], 0.5);
+    EXPECT_DOUBLE_EQ(f[2], 0.5);
+    // ... and it matches the kT -> 0+ limit of the same function.
+    const real_t kt = 1e-7;
+    const auto fs = occ::occupations(eps, occ::find_mu(eps, 4.0, kt), kt);
+    for (size_t i = 0; i < eps.size(); ++i) EXPECT_NEAR(fs[i], f[i], 1e-6);
+  }
+  {
+    // Fully half-filled all-degenerate spectrum.
+    const std::vector<real_t> eps = {0.1, 0.1, 0.1, 0.1};
+    const real_t mu = occ::find_mu(eps, 4.0, 0.0);
+    EXPECT_DOUBLE_EQ(mu, 0.1);
+    for (const real_t f : occ::occupations(eps, mu, 0.0))
+      EXPECT_DOUBLE_EQ(f, 0.5);
+  }
+}
+
+TEST(Fermi, DegenerateSpectrumAtZeroTemperatureThrows) {
+  // All-equal eigenvalues, 4 of 12 electrons: the only step counts are
+  // 0 (all empty), 6 (all at 0.5) or 12 (all full) — 4 is unrepresentable.
+  const std::vector<real_t> eps = {0.1, 0.1, 0.1, 0.1, 0.1, 0.1};
+  EXPECT_THROW(occ::find_mu(eps, 4.0, 0.0), ptim::Error);
+  // With smearing the same spectrum is fine (uniform partial filling).
+  const real_t kt = 0.01;
+  const real_t mu = occ::find_mu(eps, 4.0, kt);
+  const auto f = occ::occupations(eps, mu, kt);
+  real_t n = 0.0;
+  for (const real_t fi : f) n += 2.0 * fi;
+  EXPECT_NEAR(n, 4.0, 1e-7);
+  // Analytic: uniform occupation 4/12, mu = e - kT ln(2N/ne - 1).
+  EXPECT_NEAR(mu, 0.1 - kt * std::log(12.0 / 4.0 - 1.0), 1e-7);
+}
+
+TEST(Fermi, UnrepresentableCountsThrowDescriptively) {
+  const std::vector<real_t> eps = {-0.5, 0.5};
+  // More electrons than the basis can hold (precondition check).
+  EXPECT_THROW(occ::find_mu(eps, 5.0, 0.01), ptim::Error);
+  EXPECT_THROW(occ::find_mu(eps, -1.0, 0.01), ptim::Error);
+  // kT = 0 fractional fillings other than a clean half-filled shell.
+  EXPECT_THROW(occ::find_mu(eps, 2.5, 0.0), ptim::Error);
+  try {
+    occ::find_mu({0.1, 0.1, 0.1}, 2.0, 0.0);  // shell counts: 0, 3 or 6
+    FAIL() << "expected ptim::Error";
+  } catch (const ptim::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("degenerate"), std::string::npos);
+  }
+}
+
+TEST(Fermi, FullFillingSaturates) {
+  // nelec == 2N never brackets (count(mu) < 2N for all finite mu); the
+  // saturated mu must still produce full occupations.
+  const std::vector<real_t> eps = {-0.4, 0.0, 0.3};
+  const real_t kt = 0.02;
+  const real_t mu = occ::find_mu(eps, 6.0, kt);
+  const auto f = occ::occupations(eps, mu, kt);
+  for (const real_t fi : f) EXPECT_NEAR(fi, 1.0, 1e-9);
+}
+
+TEST(Fermi, EntropySignAndLimits) {
+  // entropy_term returns -T*S: zero for pure states, strictly negative for
+  // fractional occupations, minimized at half filling.
+  EXPECT_DOUBLE_EQ(occ::entropy_term({0.0, 1.0, 1.0}, 0.05), 0.0);
+  EXPECT_DOUBLE_EQ(occ::entropy_term({0.3, 0.7}, 0.0), 0.0);  // kT = 0
+  const real_t kt = 0.05;
+  const real_t half = occ::entropy_term({0.5}, kt);
+  EXPECT_NEAR(half, -2.0 * kt * std::log(2.0), 1e-12);
+  EXPECT_LT(occ::entropy_term({0.3, 0.7}, kt), 0.0);
+  // Any other occupation of one state is less negative than half filling.
+  EXPECT_GT(occ::entropy_term({0.1}, kt), half);
+  // Scales linearly with kT.
+  EXPECT_NEAR(occ::entropy_term({0.5}, 2.0 * kt), 2.0 * half, 1e-12);
+}
+
+TEST(TdStateOcc, SigmaTraceIsHalfElectronCount) {
+  const std::vector<real_t> eps = {-0.9, -0.3, 0.2, 0.8, 1.5};
+  const real_t nelec = 6.0, kt = 0.025;  // ~8000 K, the paper's setting
+  const real_t mu = occ::find_mu(eps, nelec, kt);
+  const auto f = occ::occupations(eps, mu, kt);
+
+  la::MatC phi(12, eps.size());
+  for (size_t b = 0; b < eps.size(); ++b) phi(b, b) = cplx(1.0);
+  const td::TdState s = td::TdState::from_occupations(phi, f);
+  cplx trace(0.0);
+  for (size_t i = 0; i < s.sigma.rows(); ++i) trace += s.sigma(i, i);
+  EXPECT_NEAR(std::real(trace), 0.5 * nelec, 1e-7);
+  EXPECT_NEAR(std::imag(trace), 0.0, 1e-15);
+}
