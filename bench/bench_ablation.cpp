@@ -95,6 +95,7 @@ int main() {
               "ground state)\n");
   std::printf("%10s %12s %10s %10s %16s\n", "batch", "seconds", "FFTs",
               "speedup", "max|d| vs B=1");
+  bench::BenchJson json("ablation");
   {
     pw::SphereGridMap map(*sys.sphere, *sys.wfc_grid);
     const la::MatC& phi = sys.ground.phi;
@@ -124,8 +125,13 @@ int main() {
       }
       std::printf("%10zu %12.5f %10ld %9.2fx %16.2e\n", bs, sec,
                   static_cast<long>(xop.fft_count), t_ref / sec, max_abs);
+      char cfg[64];
+      std::snprintf(cfg, sizeof(cfg), "batch_size=%zu ffts=%ld", bs,
+                    static_cast<long>(xop.fft_count));
+      json.add("exchange_apply", cfg, sec);
     }
   }
+  json.write();
   std::printf("(batch_size is ExchangeOptions::batch_size; 1 is the "
               "paper-baseline per-pair path)\n");
   return 0;

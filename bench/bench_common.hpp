@@ -7,11 +7,14 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "backend/backend.hpp"
 #include "common/timer.hpp"
 #include "dist/band_ham.hpp"
 #include "dist/exchange_dist.hpp"
+#include "dist/rotate.hpp"
+#include "dist/slab_exchange.hpp"
 #include "gs/scf.hpp"
 #include "ham/density.hpp"
 #include "pseudo/atoms.hpp"
@@ -22,6 +25,51 @@
 #include "td/rk4.hpp"
 
 namespace ptim::bench {
+
+// Shared machine-readable bench output: every bench binary writes (at
+// least) one BENCH_<bench>.json through this writer, rows carrying the
+// common schema {name, config, seconds, bytes} so CI can upload all
+// BENCH_*.json files as one artifact set and downstream tooling can diff
+// any bench the same way. Benches with richer custom dumps keep those too;
+// this is the least common denominator every one of them emits.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  void add(const std::string& name, const std::string& config, double seconds,
+           long long bytes = 0) {
+    rows_.push_back({name, config, seconds, bytes});
+  }
+
+  // Writes BENCH_<bench>.json in the working directory.
+  void write() const {
+    const std::string path = "BENCH_" + bench_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n",
+                 bench_.c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"config\": \"%s\", "
+                   "\"seconds\": %.6e, \"bytes\": %lld}%s\n",
+                   r.name.c_str(), r.config.c_str(), r.seconds, r.bytes,
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("(written to %s)\n", path.c_str());
+  }
+
+ private:
+  struct Row {
+    std::string name, config;
+    double seconds;
+    long long bytes;
+  };
+  std::string bench_;
+  std::vector<Row> rows_;
+};
 
 // Self-contained miniature system: 2 Si atoms, reduced cutoff, hybrid
 // functional on. The *structure* (mixed state, screened exchange, PT-IM
@@ -153,6 +201,76 @@ inline double time_exchange_apply(const MiniSystem& sys,
     }
   }
   return best;
+}
+
+// One measured exchange application on a pb x pg process grid (pg == 1
+// runs the production 1-D band circulation, pg > 1 the slab pipeline) —
+// the shared measurement behind the pb x pg sweeps of bench_table1_comm
+// and bench_fig10_strong. Reports rank 0's per-rank traffic split into the
+// ring payload (Sendrecv + Wait + Bcast), the pencil-transpose Alltoallv
+// and the sphere-gather Allreduce (2-D-only traffic that must be counted
+// against the ring-byte savings), plus rank 0's slab-FFT seconds and the
+// apply wall time. Setup (GridContext splits, FFT plan tables, scatter
+// plans, band slicing) happens OUTSIDE the timed window on every layout,
+// so the apply column compares like with like.
+struct GridSweepRow {
+  int pb = 1, pg = 1;
+  double apply_seconds = 0.0;     // rank 0 wall time of the apply only
+  double slab_fft_seconds = 0.0;  // 0 when pg == 1 (no distributed FFT)
+  long long ring_bytes = 0;
+  long long alltoallv_bytes = 0;
+  long long allreduce_bytes = 0;
+};
+
+inline GridSweepRow run_grid_exchange(const MiniSystem& sys,
+                                      const pw::SphereGridMap& map, int pb,
+                                      int pg, dist::ExchangePattern pat) {
+  ham::ExchangeOperator xop(map, {});
+  const la::MatC& src = sys.ground.phi;
+  const std::vector<real_t>& d = sys.ground.occ;
+  const dist::BlockLayout bands(src.cols(), pb);
+  const int nranks = pb * pg;
+  GridSweepRow row;
+  row.pb = pb;
+  row.pg = pg;
+  std::vector<double> fft_secs(static_cast<size_t>(nranks), 0.0);
+  double apply_secs = 0.0;  // written by world rank 0 only
+  ptmpi::run_ranks(nranks, 2, [&](ptmpi::Comm& c) {
+    const dist::ProcessGrid pgrid{pb, pg};
+    const int br = pgrid.band_rank_of(c.rank());
+    std::vector<real_t> d_local(
+        d.begin() + static_cast<long>(bands.offset(br)),
+        d.begin() + static_cast<long>(bands.offset(br) + bands.count(br)));
+    const la::MatC src_local = dist::scatter_bands(src, bands, br);
+    if (pg <= 1) {
+      c.barrier();  // setup done everywhere before the clock starts
+      Timer t;
+      (void)dist::exchange_apply_distributed_local(
+          c, xop, src_local, d_local, src_local, bands, pat);
+      if (c.rank() == 0) apply_secs = t.seconds();
+      return;
+    }
+    dist::GridContext gc(c, pgrid, map);
+    c.barrier();
+    Timer t;
+    (void)dist::exchange_apply_slab_local(gc, xop, src_local, d_local,
+                                          src_local, bands, pat);
+    if (c.rank() == 0) apply_secs = t.seconds();
+    fft_secs[static_cast<size_t>(c.rank())] =
+        gc.fft64().seconds() + gc.fft32().seconds();
+  });
+  row.apply_seconds = apply_secs;
+  row.slab_fft_seconds = fft_secs[0];
+  const auto& ops = ptmpi::last_run_stats()[0].ops;
+  auto bytes_of = [&](const char* op) {
+    const auto it = ops.find(op);
+    return it != ops.end() ? it->second.bytes : 0LL;
+  };
+  row.ring_bytes =
+      bytes_of("Sendrecv") + bytes_of("Wait") + bytes_of("Bcast");
+  row.alltoallv_bytes = bytes_of("Alltoallv");
+  row.allreduce_bytes = bytes_of("Allreduce");
+  return row;
 }
 
 inline void rule(char c = '-') {

@@ -5,6 +5,7 @@
 // 22.9% (GPU, 16x nodes).
 
 #include <cstdio>
+#include <utility>
 
 #include "bench_common.hpp"
 #include "netsim/experiments.hpp"
@@ -14,17 +15,23 @@ using namespace ptim;
 namespace {
 
 void run(const netsim::Platform& plat, size_t natoms,
-         const std::vector<size_t>& nodes, double paper_endpoint_eff) {
+         const std::vector<size_t>& nodes, double paper_endpoint_eff,
+         bench::BenchJson& json) {
   std::printf("\n%zu-atom silicon — %s (Async variant)\n", natoms,
               plat.name.c_str());
   std::printf("%8s %14s %12s %12s %14s\n", "nodes", "t/step (s)", "speedup",
               "ideal", "parallel eff");
   const auto rows = netsim::fig10_strong(plat, natoms, nodes);
-  for (const auto& r : rows)
+  for (const auto& r : rows) {
     std::printf("%8zu %14.2f %11.2fx %11.2fx %13.1f%%\n", r.nodes,
                 r.step_seconds, r.speedup,
                 static_cast<double>(r.nodes) / static_cast<double>(nodes[0]),
                 100.0 * r.parallel_efficiency);
+    char cfg[96];
+    std::snprintf(cfg, sizeof(cfg), "%s natoms=%zu nodes=%zu",
+                  plat.name.c_str(), natoms, r.nodes);
+    json.add("model_step", cfg, r.step_seconds);
+  }
   std::printf("endpoint parallel efficiency: model %.1f%% vs paper %.1f%%\n",
               100.0 * rows.back().parallel_efficiency,
               100.0 * paper_endpoint_eff);
@@ -34,9 +41,10 @@ void run(const netsim::Platform& plat, size_t natoms,
 
 int main() {
   bench::header("Fig. 10 — strong scaling (wall-clock per 50-as step)");
+  bench::BenchJson json("fig10_strong");
   run(netsim::Platform::fugaku_arm(), 768, {15, 30, 60, 120, 240, 480},
-      0.368);
-  run(netsim::Platform::gpu_a100(), 1536, {12, 24, 48, 96, 192}, 0.229);
+      0.368, json);
+  run(netsim::Platform::gpu_a100(), 1536, {12, 24, 48, 96, 192}, 0.229, json);
 
   // The communication growth the paper reports alongside Fig. 10
   // (Sec. VIII-B): Sendrecv and Allreduce times at the endpoints.
@@ -49,5 +57,31 @@ int main() {
               lo.comm.sendrecv, hi.comm.sendrecv);
   std::printf("ARM Allreduce: %.2f s -> %.2f s (paper: 2.6 -> 3.7)\n",
               lo.comm.allreduce, hi.comm.allreduce);
+
+  // Measured strong-scaling analogue on thread ranks: the same exchange
+  // application at 1, 2 and 4 total ranks, sweeping the pb x pg layouts at
+  // each total — the 2-D decomposition opens rank counts beyond the band
+  // count and trades ring bytes for pencil-transpose Alltoallv bytes.
+  bench::MiniSystem msys = bench::MiniSystem::make(8000.0);
+  pw::SphereGridMap map{*msys.sphere, *msys.wfc_grid};
+  std::printf("\n[measured] pb x pg strong sweep, async ring, one exchange "
+              "application\n");
+  std::printf("%-8s %12s %12s %12s %12s %12s\n", "pb x pg", "apply ms",
+              "slabFFT ms", "ring B", "a2a B", "allred B");
+  for (const auto& [pb, pg] :
+       {std::pair{1, 1}, std::pair{2, 1}, std::pair{1, 2}, std::pair{4, 1},
+        std::pair{2, 2}, std::pair{1, 4}}) {
+    const bench::GridSweepRow r = bench::run_grid_exchange(
+        msys, map, pb, pg, dist::ExchangePattern::kAsyncRing);
+    std::printf("%dx%-6d %12.3f %12.3f %12lld %12lld %12lld\n", r.pb, r.pg,
+                r.apply_seconds * 1e3, r.slab_fft_seconds * 1e3, r.ring_bytes,
+                r.alltoallv_bytes, r.allreduce_bytes);
+    char cfg[96];
+    std::snprintf(cfg, sizeof(cfg), "pb=%d pg=%d pattern=async", r.pb, r.pg);
+    json.add("measured_apply", cfg, r.apply_seconds,
+             r.ring_bytes + r.alltoallv_bytes + r.allreduce_bytes);
+    json.add("measured_slab_fft", cfg, r.slab_fft_seconds, r.alltoallv_bytes);
+  }
+  json.write();
   return 0;
 }

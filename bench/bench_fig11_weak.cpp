@@ -15,7 +15,7 @@ using namespace ptim;
 namespace {
 
 void run(const netsim::Platform& plat, const std::vector<size_t>& atoms,
-         size_t orb_per_rank) {
+         size_t orb_per_rank, bench::BenchJson& json) {
   std::printf("\n%s — nodes = orbitals/%zu\n", plat.name.c_str(),
               orb_per_rank * static_cast<size_t>(plat.ranks_per_node));
   std::printf("%8s %8s %14s %16s %12s\n", "atoms", "nodes", "t/step (s)",
@@ -27,6 +27,12 @@ void run(const netsim::Platform& plat, const std::vector<size_t>& atoms,
     std::printf("%8zu %8zu %14.2f %16.2f %11.2fx\n", rows[i].natoms,
                 rows[i].nodes, rows[i].step_seconds, rows[i].ideal_n2_seconds,
                 growth);
+    char cfg[96];
+    std::snprintf(cfg, sizeof(cfg), "%s natoms=%zu nodes=%zu orb_per_rank=%zu",
+                  plat.name.c_str(), rows[i].natoms, rows[i].nodes,
+                  orb_per_rank);
+    json.add("model_step", cfg, rows[i].step_seconds);
+    json.add("ideal_n2", cfg, rows[i].ideal_n2_seconds);
   }
 }
 
@@ -34,8 +40,11 @@ void run(const netsim::Platform& plat, const std::vector<size_t>& atoms,
 
 int main() {
   bench::header("Fig. 11 — weak scaling (wall-clock per 50-as step)");
-  run(netsim::Platform::fugaku_arm(), {48, 96, 192, 384, 768, 1536}, 1);
-  run(netsim::Platform::gpu_a100(), {48, 96, 192, 384, 768, 1536, 3072}, 10);
+  bench::BenchJson json("fig11_weak");
+  run(netsim::Platform::fugaku_arm(), {48, 96, 192, 384, 768, 1536}, 1, json);
+  run(netsim::Platform::gpu_a100(), {48, 96, 192, 384, 768, 1536, 3072}, 10,
+      json);
+  json.write();
 
   const auto rows = netsim::fig11_weak(netsim::Platform::gpu_a100(),
                                        {192, 3072}, 10);

@@ -58,13 +58,20 @@ int main() {
   std::printf("%8.2f %12.4e %14.6e %14.6e %14.8f %12.8f\n", 0.0, 0.0,
               std::real(s.sigma(0, 2)), std::imag(s.sigma(0, 2)),
               std::real(s.sigma(kdiag, kdiag)), td::sigma_trace(s.sigma));
+  bench::BenchJson json("fig8_sigma");
   for (int i = 0; i < steps; ++i) {
+    Timer t;
     prop.step(s);
     std::printf("%8.2f %12.4e %14.6e %14.6e %14.8f %12.8f\n", s.time,
                 std::abs(laser.efield(s.time)), std::real(s.sigma(0, 2)),
                 std::imag(s.sigma(0, 2)),
                 std::real(s.sigma(kdiag, kdiag)), td::sigma_trace(s.sigma));
+    char cfg[64];
+    std::snprintf(cfg, sizeof(cfg), "step=%d t=%.2f trace=%.8f", i + 1,
+                  s.time, td::sigma_trace(s.sigma));
+    json.add("ptim_ace_step", cfg, t.seconds());
   }
+  json.write();
 
   print_sigma(s.sigma, "(d) final sigma_t — off-diagonal weight developed");
   std::printf(

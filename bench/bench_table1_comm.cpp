@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <functional>
+#include <utility>
 
 #include "backend/backend.hpp"
 #include "bench_common.hpp"
@@ -162,6 +163,40 @@ int main() {
     }
     std::printf("\n");
   }
+
+  // 2-D pb x pg sweep at equal total ranks: the grid dimension shrinks the
+  // circulating ring payload (z-slab portions instead of whole-grid slabs,
+  // a pg-fold cut) and moves the pair FFTs onto the distributed slab
+  // engine, whose pencil transposes appear as Alltoallv bytes and whose
+  // cost is the slab-FFT column. Written machine-readable through the
+  // shared bench schema (BENCH_table1_grid_sweep.json).
+  bench::BenchJson sweep_json("table1_grid_sweep");
+  std::printf("\n[measured] pb x pg sweep, one exchange application, "
+              "4 total ranks (per-rank bytes, rank 0)\n");
+  std::printf("%-8s %-10s %12s %12s %12s %12s %12s\n", "pb x pg", "pattern",
+              "ring B", "a2a B", "allred B", "slabFFT ms", "apply ms");
+  for (const auto pat :
+       {dist::ExchangePattern::kBcast, dist::ExchangePattern::kRing,
+        dist::ExchangePattern::kAsyncRing}) {
+    for (const auto& [pb, pg] :
+         {std::pair{4, 1}, std::pair{2, 2}, std::pair{1, 4}}) {
+      const bench::GridSweepRow r =
+          bench::run_grid_exchange(sys, map, pb, pg, pat);
+      std::printf("%dx%-6d %-10s %12lld %12lld %12lld %12.3f %12.3f\n", r.pb,
+                  r.pg, dist::pattern_name(pat), r.ring_bytes,
+                  r.alltoallv_bytes, r.allreduce_bytes,
+                  r.slab_fft_seconds * 1e3, r.apply_seconds * 1e3);
+      char cfg[96];
+      std::snprintf(cfg, sizeof(cfg), "pb=%d pg=%d pattern=%s", r.pb, r.pg,
+                    dist::pattern_name(pat));
+      sweep_json.add("ring_bytes", cfg,
+                     static_cast<double>(r.apply_seconds), r.ring_bytes);
+      sweep_json.add("alltoallv_bytes", cfg, r.slab_fft_seconds,
+                     r.alltoallv_bytes);
+      sweep_json.add("allreduce_bytes", cfg, 0.0, r.allreduce_bytes);
+    }
+  }
+  sweep_json.write();
 
   // Serialized vs stream-overlapped pipelined ring (the backend subsystem's
   // double-buffered compute/comm overlap) under a synthetic wire model, so

@@ -72,7 +72,14 @@ Simulation::DistRunResult Simulation::propagate_distributed(
   PTIM_CHECK_MSG(opt.nranks >= 1 && opt.steps >= 0,
                  "propagate_distributed: bad run options");
   const td::TdState initial = initial_state();
-  const dist::BlockLayout bands(nbands_, opt.nranks);
+
+  // 2-D layout: PtImOptions::process_grid splits the nranks world into
+  // pb band rows x pg grid columns; pg == 1 is the pure band-parallel path.
+  // resolve_pb validates pb*pg == nranks in EVERY mode, so an explicitly
+  // set but inconsistent layout is rejected rather than silently ignored.
+  const dist::ProcessGrid pgrid = opt.ptim.process_grid;
+  const int pb = pgrid.resolve_pb(opt.nranks);
+  const dist::BlockLayout bands(nbands_, pb);
 
   DistRunResult result;
   result.dipole.assign(static_cast<size_t>(opt.steps), 0.0);
@@ -81,13 +88,18 @@ Simulation::DistRunResult Simulation::propagate_distributed(
   ptmpi::run_ranks(opt.nranks, opt.ranks_per_node, [&](ptmpi::Comm& c) {
     // Per-rank Hamiltonian over the shared read-only grids/atoms.
     std::unique_ptr<ham::Hamiltonian> h = make_rank_hamiltonian();
-    dist::BandDistributedHamiltonian bdh(c, *h, nbands_, opt.band);
-    td::DistTdState s = td::scatter_state(initial, bands, c.rank());
+    dist::BandHamOptions bopt = opt.band;
+    if (pgrid.pg > 1) bopt.grid = pgrid;
+    dist::BandDistributedHamiltonian bdh(c, *h, nbands_, bopt);
+    td::DistTdState s =
+        td::scatter_state(initial, bands, pgrid.band_rank_of(c.rank()));
     td::DistPtImPropagator prop(bdh, opt.ptim, laser_.get());
     for (int step = 0; step < opt.steps; ++step) {
       const td::PtImStepStats st = prop.step(s);
-      // Observables from the distributed state: rho is Allreduced, so the
-      // dipole is identical on every rank; rank 0 records it.
+      // Observables from the distributed state: rho is Allreduced over the
+      // band communicator (and the grid columns compute it redundantly and
+      // identically), so the dipole is the same on every rank; world rank 0
+      // records it.
       const std::vector<real_t> rho = bdh.density(s.phi_local, s.sigma);
       const real_t dip = td::dipole(rho, *den_grid_, {1.0, 0.0, 0.0});
       if (c.rank() == 0) {
@@ -95,7 +107,9 @@ Simulation::DistRunResult Simulation::propagate_distributed(
         result.steps[static_cast<size_t>(step)] = st;
       }
     }
-    const td::TdState full = td::gather_state(c, s, bands);
+    // Gather over the band communicator (grid column 0 contains world rank
+    // 0, which holds the full state for the caller).
+    const td::TdState full = td::gather_state(bdh.comm(), s, bands);
     if (c.rank() == 0) result.final_state = full;
   });
   result.comm = ptmpi::last_run_stats();

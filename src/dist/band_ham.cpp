@@ -17,14 +17,46 @@ BandDistributedHamiltonian::BandDistributedHamiltonian(ptmpi::Comm& c,
                                                        ham::Hamiltonian& h,
                                                        size_t nbands,
                                                        BandHamOptions opt)
-    : c_(&c),
+    : gridctx_(opt.grid.pg > 1
+                   ? std::make_unique<GridContext>(c, opt.grid,
+                                                   h.exchange_op().map())
+                   : nullptr),
+      c_(gridctx_ ? &gridctx_->band() : &c),
       h_(&h),
-      bands_(nbands, c.size()),
-      rows_(h.sphere().npw(), c.size()),
+      bands_(nbands, c_->size()),
+      rows_(h.sphere().npw(), c_->size()),
       opt_(opt) {
+  // Validate the layout in every mode (pg == 1 included), so an
+  // explicitly-set but inconsistent ProcessGrid is rejected rather than
+  // silently ignored. The GridContext path has already checked pg > 1.
+  if (!gridctx_) (void)opt_.grid.resolve_pb(c.size());
   // Exchange is applied by this layer; the local Hamiltonian only ever
   // contributes kinetic/local/nonlocal terms.
   h_->set_exchange_mode(ham::ExchangeMode::kNone);
+}
+
+la::MatC BandDistributedHamiltonian::exchange_diag(
+    const la::MatC& src_local, const std::vector<real_t>& d_local,
+    const la::MatC& tgt_local) {
+  if (gridctx_)
+    return exchange_apply_slab_local(*gridctx_, h_->exchange_op(), src_local,
+                                     d_local, tgt_local, bands_, opt_.pattern);
+  return exchange_apply_distributed_local(*c_, h_->exchange_op(), src_local,
+                                          d_local, tgt_local, bands_,
+                                          opt_.pattern);
+}
+
+la::MatC BandDistributedHamiltonian::exchange_mixed(
+    const la::MatC& src_local, const la::MatC& theta_local,
+    const la::MatC& tgt_local) {
+  if (gridctx_)
+    return exchange_apply_slab_mixed_local(*gridctx_, h_->exchange_op(),
+                                           src_local, theta_local, tgt_local,
+                                           bands_, opt_.pattern);
+  return exchange_apply_distributed_mixed_local(*c_, h_->exchange_op(),
+                                                src_local, theta_local,
+                                                tgt_local, bands_,
+                                                opt_.pattern);
 }
 
 la::MatC BandDistributedHamiltonian::overlap(const la::MatC& a_local,
@@ -110,10 +142,10 @@ real_t BandDistributedHamiltonian::build_ace(const la::MatC& phi_local,
       eig.w.begin() + static_cast<long>(bands_.offset(me) +
                                         bands_.count(me)));
 
-  // W = (alpha Vx) Phi' via the circulating batched-FFT exchange.
-  const la::MatC w_local = exchange_apply_distributed_local(
-      *c_, h_->exchange_op(), rotated_local, occ_local, rotated_local, bands_,
-      opt_.pattern);
+  // W = (alpha Vx) Phi' via the circulating batched-FFT exchange (slab
+  // pipeline under the 2-D layout).
+  const la::MatC w_local =
+      exchange_diag(rotated_local, occ_local, rotated_local);
 
   // B = -Phi'^H W (+ ridge), Cholesky, xi = W L^{-H} — the serial
   // AceOperator::build arithmetic on replicated small matrices.
@@ -147,17 +179,13 @@ void BandDistributedHamiltonian::apply(const la::MatC& phi_local,
     case BandExchangeMode::kNone:
       break;
     case BandExchangeMode::kMixedNaive: {
-      const la::MatC vx = exchange_apply_distributed_mixed_local(
-          *c_, h_->exchange_op(), xsrc_local_, xtheta_local_, phi_local,
-          bands_, opt_.pattern);
+      const la::MatC vx = exchange_mixed(xsrc_local_, xtheta_local_, phi_local);
       for (size_t i = 0; i < hphi_local.size(); ++i)
         hphi_local.data()[i] += vx.data()[i];
       break;
     }
     case BandExchangeMode::kMixedDiag: {
-      const la::MatC vx = exchange_apply_distributed_local(
-          *c_, h_->exchange_op(), xsrc_local_, xocc_local_, phi_local, bands_,
-          opt_.pattern);
+      const la::MatC vx = exchange_diag(xsrc_local_, xocc_local_, phi_local);
       for (size_t i = 0; i < hphi_local.size(); ++i)
         hphi_local.data()[i] += vx.data()[i];
       break;

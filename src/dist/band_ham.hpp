@@ -22,10 +22,12 @@
 // carries mutable density/exchange state); all instances see identical
 // densities because rho is Allreduced before set_density.
 
+#include <memory>
 #include <vector>
 
 #include "dist/layout.hpp"
 #include "dist/pattern.hpp"
+#include "dist/slab_exchange.hpp"
 #include "ham/hamiltonian.hpp"
 #include "ptmpi/comm.hpp"
 
@@ -36,6 +38,15 @@ struct BandHamOptions {
   // Stage overlap reductions through the MPI-3-style node-shared window
   // before the Allreduce (paper Fig. 6).
   bool overlap_shm = false;
+  // 2-D band x grid process layout. With grid.pg == 1 (the default) the
+  // construction is a bitwise no-op against the pure band-parallel path:
+  // the world communicator IS the band communicator and no split happens.
+  // With pg > 1 the world splits into pb band communicators (bands and all
+  // nb x nb collectives live there) and pg grid communicators (the
+  // real-space grid is z-slab-distributed and exact exchange runs through
+  // dist/slab_exchange). Everything outside exchange is computed
+  // redundantly (and therefore bit-identically) by the pg column replicas.
+  ProcessGrid grid{};
 };
 
 // Mirrors ham::ExchangeMode for the band-distributed state.
@@ -46,11 +57,16 @@ class BandDistributedHamiltonian {
   BandDistributedHamiltonian(ptmpi::Comm& c, ham::Hamiltonian& h,
                              size_t nbands, BandHamOptions opt = {});
 
+  // The BAND communicator: the pb ranks this instance's band slices and
+  // nb x nb collectives are distributed over. Equal to the construction
+  // communicator when grid.pg == 1.
   ptmpi::Comm& comm() { return *c_; }
   ham::Hamiltonian& local() { return *h_; }
   const BlockLayout& bands() const { return bands_; }
   const BlockLayout& rows() const { return rows_; }
   const BandHamOptions& options() const { return opt_; }
+  // Non-null iff grid.pg > 1 (the 2-D layout is active).
+  GridContext* grid_context() { return gridctx_.get(); }
 
   // --- band-block collectives -----------------------------------------
   // Full nb x nb overlap A^H B from band blocks, replicated on every rank.
@@ -98,7 +114,17 @@ class BandDistributedHamiltonian {
   void apply(const la::MatC& phi_local, la::MatC& hphi_local);
 
  private:
-  ptmpi::Comm* c_;
+  // Exchange applications routed through the configured layout (1-D band
+  // circulation, or the 2-D slab path when grid.pg > 1).
+  la::MatC exchange_diag(const la::MatC& src_local,
+                         const std::vector<real_t>& d_local,
+                         const la::MatC& tgt_local);
+  la::MatC exchange_mixed(const la::MatC& src_local,
+                          const la::MatC& theta_local,
+                          const la::MatC& tgt_local);
+
+  std::unique_ptr<GridContext> gridctx_;  // pg > 1 only; owns the splits
+  ptmpi::Comm* c_;  // band communicator (world when pg == 1)
   ham::Hamiltonian* h_;
   BlockLayout bands_;
   BlockLayout rows_;

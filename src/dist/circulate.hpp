@@ -32,14 +32,27 @@
 #include <type_traits>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "backend/buffer.hpp"
 #include "backend/executor.hpp"
+#include "backend/kernels.hpp"
 #include "common/types.hpp"
 #include "dist/layout.hpp"
 #include "dist/pattern.hpp"
 #include "ptmpi/comm.hpp"
 
 namespace ptim::dist {
+
+// Execution backend of a circulation: kSync selects the legacy
+// host-synchronous engine (null executor); the host-stream kinds run the
+// stream-pipelined engine with the exchange kernels registered. Shared by
+// the 1-D (exchange_dist) and 2-D slab (slab_exchange) rings so the two
+// paths can never pick different executors for the same options.
+inline backend::Executor* circulation_executor(backend::Kind k) {
+  if (k == backend::Kind::kSync) return nullptr;
+  backend::register_exchange_kernels();
+  return &backend::shared_executor(k);
+}
 
 namespace detail {
 

@@ -20,17 +20,6 @@ const char* pattern_name(ExchangePattern p) {
 
 namespace {
 
-// Execution backend of the ring: kSync runs the legacy host-synchronous
-// engine; kHostSerial / kHostAsync run the stream-pipelined engine (comm
-// and compute as stream tasks, double-buffered slabs). The per-slab apply
-// order is identical in every mode, so results are bit-identical.
-backend::Executor* executor_for(const ham::ExchangeOperator& xop) {
-  const backend::Kind k = xop.options().backend;
-  if (k == backend::Kind::kSync) return nullptr;
-  backend::register_exchange_kernels();
-  return &backend::shared_executor(k);
-}
-
 // Circulation bodies shared by the FP64 and FP32 pipelines, templated over
 // the slab scalar (CS = cplx or cplxf) so the precision modes cannot drift
 // apart: with CS = cplxf the sources are down-converted once at the
@@ -58,7 +47,7 @@ la::MatC diag_circulation(ptmpi::Comm& c, const ham::ExchangeOperator& xop,
                              tgt_local, out, /*accumulate=*/true);
   };
   circulate_slabs(c, src_bands, ng, mine, pat, apply_block,
-                  executor_for(xop));
+                  circulation_executor(xop.options().backend));
   return out;
 }
 
@@ -101,7 +90,7 @@ la::MatC mixed_circulation(ptmpi::Comm& c, const ham::ExchangeOperator& xop,
                                  /*accumulate=*/true);
   };
   circulate_slabs(c, src_bands, 2 * ng, mine, pat, apply_block,
-                  executor_for(xop));
+                  circulation_executor(xop.options().backend));
   return out;
 }
 

@@ -9,6 +9,29 @@
 
 namespace ptim::dist {
 
+// 2-D band x grid process layout (paper Sec. IV-B / Fig. 1): a world of
+// pb*pg ranks is viewed as a pb x pg grid. World rank r sits at band row
+// r / pg and grid column r % pg. Ranks of one grid COLUMN (fixed grid
+// coordinate) form a band communicator of size pb — bands are distributed
+// over it and exchange slabs circulate around it. Ranks of one band ROW
+// (fixed band coordinate) form a grid communicator of size pg — the
+// real-space grid is z-slab-distributed over it and every 3-D FFT runs as
+// a distributed slab transform across it. pg = 1 recovers the pure
+// band-parallel layout unchanged.
+struct ProcessGrid {
+  int pb = 0;  // band dimension; 0 = "all ranks" (resolved against nranks)
+  int pg = 1;  // grid dimension
+
+  int resolve_pb(int nranks) const {
+    const int b = pb > 0 ? pb : nranks / (pg > 0 ? pg : 1);
+    PTIM_CHECK_MSG(pg >= 1 && b >= 1 && b * pg == nranks,
+                   "ProcessGrid: pb*pg must equal the rank count");
+    return b;
+  }
+  int band_rank_of(int world_rank) const { return world_rank / pg; }
+  int grid_rank_of(int world_rank) const { return world_rank % pg; }
+};
+
 class BlockLayout {
  public:
   BlockLayout(size_t total, int parts) : total_(total), parts_(parts) {

@@ -1,0 +1,58 @@
+#pragma once
+// Shared per-axis pass of the batched 3-D engines: gather tiles of lines
+// into element-major split planes, run the vector 1-D transform, scatter
+// back. BOTH the serial Fft3T::transform_batch and the distributed
+// DistFft3T call exactly this function, which is what makes the
+// distributed slab transform bit-identical to the serial engine by
+// construction (one implementation, not two that must not diverge). The
+// per-line arithmetic is independent of the tile width, so any caller's
+// line partitioning yields the same bits.
+
+#include <algorithm>
+#include <complex>
+#include <vector>
+
+#include "fft/fft.hpp"
+
+namespace ptim::fft::detail {
+
+// Transforms `count` lines of length n with stride `stride` in place;
+// line_start(q) maps line index q to its first element's offset in data.
+template <typename R, typename LineStart>
+void axis_pass(const Plan1DT<R>& p, size_t n, size_t count,
+               const LineStart& line_start, size_t stride,
+               std::complex<R>* data, bool fwd) {
+  using C = std::complex<R>;
+  constexpr size_t kTile = Plan1DT<R>::kMaxTile;
+  const size_t ngroups = (count + kTile - 1) / kTile;
+#pragma omp parallel
+  {
+    std::vector<R> tile_re(kTile * n), tile_im(kTile * n), tout_re(kTile * n),
+        tout_im(kTile * n);
+#pragma omp for schedule(static)
+    for (size_t g = 0; g < ngroups; ++g) {
+      const size_t q0 = g * kTile;
+      const size_t v = std::min(kTile, count - q0);
+      for (size_t l = 0; l < v; ++l) {
+        const C* src = data + line_start(q0 + l);
+        for (size_t k = 0; k < n; ++k) {
+          tile_re[k * v + l] = src[k * stride].real();
+          tile_im[k * v + l] = src[k * stride].imag();
+        }
+      }
+      if (fwd)
+        p.forward_many_split(tile_re.data(), tile_im.data(), tout_re.data(),
+                             tout_im.data(), v);
+      else
+        p.inverse_unscaled_many_split(tile_re.data(), tile_im.data(),
+                                      tout_re.data(), tout_im.data(), v);
+      for (size_t l = 0; l < v; ++l) {
+        C* dst = data + line_start(q0 + l);
+        for (size_t k = 0; k < n; ++k)
+          dst[k * stride] = C(tout_re[k * v + l], tout_im[k * v + l]);
+      }
+    }
+  }
+}
+
+}  // namespace ptim::fft::detail

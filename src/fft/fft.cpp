@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "fft/axis_pass.hpp"
 
 namespace ptim::fft {
 
@@ -376,61 +377,36 @@ void Fft3T<R>::inverse_batch(C* data, size_t nbatch) const {
   for (size_t i = 0; i < total; ++i) data[i] *= s;
 }
 
-// All three axis passes of the whole batch run inside one parallel region:
+// The whole batch runs through the shared axis pass (fft/axis_pass.hpp):
 // lines are gathered in tiles of kMaxTile into element-major SPLIT-PLANE
 // scratch (the de-interleave rides along with the gather for free), pushed
 // through the split vector 1-D transforms (twiddles amortized over the
 // tile, R-wide vectorization over the lanes), and scattered back.
 // Consecutive line indices are chosen so that tile gathers walk memory
-// contiguously on the strided axes.
+// contiguously on the strided axes. The distributed slab engine
+// (DistFft3T) calls the SAME axis_pass on its local line sets, which is
+// what makes it bit-identical to this engine by construction.
+//
+// Axis order: forward sweeps 0 -> 1 -> 2, the inverse sweeps 2 -> 1 -> 0.
+// The reversed inverse is what makes a z-slab-distributed transform
+// bit-identical with one transpose per direction: both directions touch
+// the z axis only while the data is pencil-distributed (full z).
 template <typename R>
 void Fft3T<R>::transform_batch(C* data, size_t nbatch, Dir dir) const {
   const bool fwd = dir == Dir::kForward;
   const size_t ng = size();
   const size_t plane = n0_ * n1_;
-  constexpr size_t kTile = Plan1DT<R>::kMaxTile;
-  const size_t nmax = std::max(n0_, std::max(n1_, n2_));
 
-#pragma omp parallel
-  {
-    std::vector<R> tile_re(kTile * nmax), tile_im(kTile * nmax),
-        tout_re(kTile * nmax), tout_im(kTile * nmax);
-
-    auto run_axis = [&](const Plan1DT<R>& p, size_t n, size_t count,
-                        auto line_start, size_t stride) {
-      const size_t ngroups = (count + kTile - 1) / kTile;
-#pragma omp for schedule(static)
-      for (size_t g = 0; g < ngroups; ++g) {
-        const size_t q0 = g * kTile;
-        const size_t v = std::min(kTile, count - q0);
-        for (size_t l = 0; l < v; ++l) {
-          const C* src = data + line_start(q0 + l);
-          for (size_t k = 0; k < n; ++k) {
-            tile_re[k * v + l] = src[k * stride].real();
-            tile_im[k * v + l] = src[k * stride].imag();
-          }
-        }
-        if (fwd)
-          p.forward_many_split(tile_re.data(), tile_im.data(), tout_re.data(),
-                               tout_im.data(), v);
-        else
-          p.inverse_unscaled_many_split(tile_re.data(), tile_im.data(),
-                                        tout_re.data(), tout_im.data(), v);
-        for (size_t l = 0; l < v; ++l) {
-          C* dst = data + line_start(q0 + l);
-          for (size_t k = 0; k < n; ++k)
-            dst[k * stride] = C(tout_re[k * v + l], tout_im[k * v + l]);
-        }
-      }
-    };
-
-    // Axis 0: contiguous lines, the whole batch is one flat line array.
-    run_axis(
-        p0_, n0_, nbatch * n1_ * n2_, [&](size_t q) { return q * n0_; }, 1);
-
-    // Axis 1: stride n0 within each (batch, i2) plane; consecutive q's are
-    // consecutive i0, so tile gathers read contiguous memory.
-    run_axis(
+  // Axis 0: contiguous lines, the whole batch is one flat line array.
+  auto axis0 = [&] {
+    detail::axis_pass(
+        p0_, n0_, nbatch * n1_ * n2_, [&](size_t q) { return q * n0_; },
+        size_t{1}, data, fwd);
+  };
+  // Axis 1: stride n0 within each (batch, i2) plane; consecutive q's are
+  // consecutive i0, so tile gathers read contiguous memory.
+  auto axis1 = [&] {
+    detail::axis_pass(
         p1_, n1_, nbatch * n2_ * n0_,
         [&](size_t q) {
           const size_t b = q / (n2_ * n0_);
@@ -439,69 +415,41 @@ void Fft3T<R>::transform_batch(C* data, size_t nbatch, Dir dir) const {
           const size_t i0 = rem % n0_;
           return b * ng + i2 * plane + i0;
         },
-        n0_);
-
-    // Axis 2: stride n0*n1; consecutive q's walk the contiguous plane.
-    run_axis(
+        n0_, data, fwd);
+  };
+  // Axis 2: stride n0*n1; consecutive q's walk the contiguous plane.
+  auto axis2 = [&] {
+    detail::axis_pass(
         p2_, n2_, nbatch * plane,
-        [&](size_t q) { return (q / plane) * ng + (q % plane); }, plane);
+        [&](size_t q) { return (q / plane) * ng + (q % plane); }, plane, data,
+        fwd);
+  };
+
+  if (fwd) {
+    axis0();
+    axis1();
+    axis2();
+  } else {
+    axis2();
+    axis1();
+    axis0();
   }
 }
 
+// Single-array transforms are width-1 batches: one engine, so a single call
+// is bit-identical to the corresponding batch member by construction (the
+// per-line split-plane arithmetic is independent of the tile width).
 template <typename R>
 void Fft3T<R>::forward(C* data) const {
-  transform(data, Dir::kForward);
+  transform_batch(data, 1, Dir::kForward);
 }
 
 template <typename R>
 void Fft3T<R>::inverse(C* data) const {
-  transform(data, Dir::kInverse);
+  transform_batch(data, 1, Dir::kInverse);
   const R s = R(1) / static_cast<R>(size());
   const size_t ng = size();
   for (size_t i = 0; i < ng; ++i) data[i] *= s;
-}
-
-template <typename R>
-void Fft3T<R>::transform(C* data, Dir dir) const {
-  const bool fwd = dir == Dir::kForward;
-  auto run1d = [&](const Plan1DT<R>& p, const C* in, C* out) {
-    if (fwd)
-      p.forward(in, out);
-    else
-      p.inverse_unscaled(in, out);
-  };
-
-  // Axis 0: contiguous lines.
-#pragma omp parallel for schedule(static)
-  for (size_t l = 0; l < n1_ * n2_; ++l) {
-    std::vector<C> buf(n0_);
-    C* line = data + l * n0_;
-    run1d(p0_, line, buf.data());
-    std::copy(buf.begin(), buf.end(), line);
-  }
-
-  // Axis 1: stride n0 within each i2-plane.
-#pragma omp parallel for schedule(static) collapse(2)
-  for (size_t i2 = 0; i2 < n2_; ++i2) {
-    for (size_t i0 = 0; i0 < n0_; ++i0) {
-      std::vector<C> gather(n1_), buf(n1_);
-      C* base = data + i0 + i2 * n0_ * n1_;
-      for (size_t i1 = 0; i1 < n1_; ++i1) gather[i1] = base[i1 * n0_];
-      run1d(p1_, gather.data(), buf.data());
-      for (size_t i1 = 0; i1 < n1_; ++i1) base[i1 * n0_] = buf[i1];
-    }
-  }
-
-  // Axis 2: stride n0*n1.
-  const size_t plane = n0_ * n1_;
-#pragma omp parallel for schedule(static)
-  for (size_t l = 0; l < plane; ++l) {
-    std::vector<C> gather(n2_), buf(n2_);
-    C* base = data + l;
-    for (size_t i2 = 0; i2 < n2_; ++i2) gather[i2] = base[i2 * plane];
-    run1d(p2_, gather.data(), buf.data());
-    for (size_t i2 = 0; i2 < n2_; ++i2) base[i2 * plane] = buf[i2];
-  }
 }
 
 template class Plan1DT<float>;

@@ -120,19 +120,23 @@ class Fft3T {
   size_t size() const { return n0_ * n1_ * n2_; }
 
   // In-place transforms on a size()-element array, index i0 + n0*(i1 + n1*i2).
+  // The forward transform sweeps axes 0 -> 1 -> 2; the inverse sweeps
+  // 2 -> 1 -> 0. The reversed inverse order is load-bearing: it lets the
+  // z-slab-distributed transform (fft::DistFft3) reproduce this engine
+  // bit-for-bit with a single pencil transpose per direction.
   void forward(C* data) const;
   void inverse(C* data) const;  // scaled by 1/size()
 
   // In-place transforms on `nbatch` consecutive size()-element arrays.
   // Lines from the whole batch are tiled through the vector 1-D transforms
-  // inside a single OpenMP region with per-thread scratch; each array gets
-  // exactly the same result as the corresponding single-array call.
+  // inside a single OpenMP region with per-thread scratch. Single-array
+  // forward()/inverse() are width-1 batches of the SAME engine, so batched
+  // and single calls are bit-identical per array by construction.
   void forward_batch(C* data, size_t nbatch) const;
   void inverse_batch(C* data, size_t nbatch) const;  // each scaled 1/size()
 
  private:
   enum class Dir { kForward, kInverse };
-  void transform(C* data, Dir dir) const;
   void transform_batch(C* data, size_t nbatch, Dir dir) const;
 
   size_t n0_, n1_, n2_;

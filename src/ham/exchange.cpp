@@ -174,31 +174,31 @@ void ExchangeOperator::kernel_filter_block(cplxf* block, size_t nb) const {
 template <typename CS>
 void ExchangeOperator::pair_form_block_t(const CS* src_real, const size_t* idx,
                                          size_t nb, const CS* tgt_real,
-                                         CS* block) const {
-  const size_t ng = map_->grid().size();
+                                         CS* block, size_t nloc) const {
   // Pair densities for the whole block, one fused parallel region.
 #pragma omp parallel for schedule(static) collapse(2)
   for (size_t i = 0; i < nb; ++i)
-    for (size_t r = 0; r < ng; ++r)
-      block[i * ng + r] = std::conj(src_real[idx[i] * ng + r]) * tgt_real[r];
+    for (size_t r = 0; r < nloc; ++r)
+      block[i * nloc + r] =
+          std::conj(src_real[idx[i] * nloc + r]) * tgt_real[r];
 }
 
 template <typename CS>
 void ExchangeOperator::accumulate_block_t(const CS* src_real, const size_t* idx,
                                           const real_t* d, size_t nb,
                                           const CS* block, cplx* acc,
-                                          cplx* comp) const {
+                                          cplx* comp, size_t nloc) const {
   const size_t ng = map_->grid().size();
   // Fused accumulate over the block; parallel over grid points so the
   // acc[] updates never race.
 #pragma omp parallel for schedule(static)
-  for (size_t r = 0; r < ng; ++r) {
+  for (size_t r = 0; r < nloc; ++r) {
     for (size_t i = 0; i < nb; ++i) {
       const size_t s = idx[i];
       // Undo the inverse-FFT 1/Ng scaling (unscaled synthesis wanted).
       const cplx term = (d[s] * static_cast<real_t>(ng)) *
-                        static_cast<cplx>(src_real[s * ng + r]) *
-                        static_cast<cplx>(block[i * ng + r]);
+                        static_cast<cplx>(src_real[s * nloc + r]) *
+                        static_cast<cplx>(block[i * nloc + r]);
       if (comp)
         kahan_add(acc[r], comp[r], term);
       else
@@ -211,15 +211,16 @@ template <typename CS>
 void ExchangeOperator::accumulate_weighted_block_t(const CS* weight_real,
                                                    const size_t* idx, size_t nb,
                                                    const CS* block, cplx* acc,
-                                                   cplx* comp) const {
+                                                   cplx* comp,
+                                                   size_t nloc) const {
   const size_t ng = map_->grid().size();
 #pragma omp parallel for schedule(static)
-  for (size_t r = 0; r < ng; ++r) {
+  for (size_t r = 0; r < nloc; ++r) {
     for (size_t i = 0; i < nb; ++i) {
       // Undo the inverse-FFT 1/Ng scaling (unscaled synthesis wanted).
       const cplx term = static_cast<real_t>(ng) *
-                        static_cast<cplx>(weight_real[idx[i] * ng + r]) *
-                        static_cast<cplx>(block[i * ng + r]);
+                        static_cast<cplx>(weight_real[idx[i] * nloc + r]) *
+                        static_cast<cplx>(block[i * nloc + r]);
       if (comp)
         kahan_add(acc[r], comp[r], term);
       else
@@ -231,36 +232,77 @@ void ExchangeOperator::accumulate_weighted_block_t(const CS* weight_real,
 void ExchangeOperator::pair_form_block(const cplx* src_real, const size_t* idx,
                                        size_t nb, const cplx* tgt_real,
                                        cplx* block) const {
-  pair_form_block_t(src_real, idx, nb, tgt_real, block);
+  pair_form_block_t(src_real, idx, nb, tgt_real, block, map_->grid().size());
 }
 void ExchangeOperator::pair_form_block(const cplxf* src_real, const size_t* idx,
                                        size_t nb, const cplxf* tgt_real,
                                        cplxf* block) const {
-  pair_form_block_t(src_real, idx, nb, tgt_real, block);
+  pair_form_block_t(src_real, idx, nb, tgt_real, block, map_->grid().size());
+}
+void ExchangeOperator::pair_form_block(const cplx* src_real, const size_t* idx,
+                                       size_t nb, const cplx* tgt_real,
+                                       cplx* block, size_t nloc) const {
+  pair_form_block_t(src_real, idx, nb, tgt_real, block, nloc);
+}
+void ExchangeOperator::pair_form_block(const cplxf* src_real, const size_t* idx,
+                                       size_t nb, const cplxf* tgt_real,
+                                       cplxf* block, size_t nloc) const {
+  pair_form_block_t(src_real, idx, nb, tgt_real, block, nloc);
 }
 void ExchangeOperator::accumulate_block(const cplx* src_real, const size_t* idx,
                                         const real_t* d, size_t nb,
                                         const cplx* block, cplx* acc,
                                         cplx* comp) const {
-  accumulate_block_t(src_real, idx, d, nb, block, acc, comp);
+  accumulate_block_t(src_real, idx, d, nb, block, acc, comp,
+                     map_->grid().size());
 }
 void ExchangeOperator::accumulate_block(const cplxf* src_real,
                                         const size_t* idx, const real_t* d,
                                         size_t nb, const cplxf* block,
                                         cplx* acc, cplx* comp) const {
-  accumulate_block_t(src_real, idx, d, nb, block, acc, comp);
+  accumulate_block_t(src_real, idx, d, nb, block, acc, comp,
+                     map_->grid().size());
+}
+void ExchangeOperator::accumulate_block(const cplx* src_real, const size_t* idx,
+                                        const real_t* d, size_t nb,
+                                        const cplx* block, cplx* acc,
+                                        cplx* comp, size_t nloc) const {
+  accumulate_block_t(src_real, idx, d, nb, block, acc, comp, nloc);
+}
+void ExchangeOperator::accumulate_block(const cplxf* src_real,
+                                        const size_t* idx, const real_t* d,
+                                        size_t nb, const cplxf* block,
+                                        cplx* acc, cplx* comp,
+                                        size_t nloc) const {
+  accumulate_block_t(src_real, idx, d, nb, block, acc, comp, nloc);
 }
 void ExchangeOperator::accumulate_weighted_block(const cplx* weight_real,
                                                  const size_t* idx, size_t nb,
                                                  const cplx* block, cplx* acc,
                                                  cplx* comp) const {
-  accumulate_weighted_block_t(weight_real, idx, nb, block, acc, comp);
+  accumulate_weighted_block_t(weight_real, idx, nb, block, acc, comp,
+                              map_->grid().size());
 }
 void ExchangeOperator::accumulate_weighted_block(const cplxf* weight_real,
                                                  const size_t* idx, size_t nb,
                                                  const cplxf* block, cplx* acc,
                                                  cplx* comp) const {
-  accumulate_weighted_block_t(weight_real, idx, nb, block, acc, comp);
+  accumulate_weighted_block_t(weight_real, idx, nb, block, acc, comp,
+                              map_->grid().size());
+}
+void ExchangeOperator::accumulate_weighted_block(const cplx* weight_real,
+                                                 const size_t* idx, size_t nb,
+                                                 const cplx* block, cplx* acc,
+                                                 cplx* comp,
+                                                 size_t nloc) const {
+  accumulate_weighted_block_t(weight_real, idx, nb, block, acc, comp, nloc);
+}
+void ExchangeOperator::accumulate_weighted_block(const cplxf* weight_real,
+                                                 const size_t* idx, size_t nb,
+                                                 const cplxf* block, cplx* acc,
+                                                 cplx* comp,
+                                                 size_t nloc) const {
+  accumulate_weighted_block_t(weight_real, idx, nb, block, acc, comp, nloc);
 }
 
 void ExchangeOperator::gather_accumulate(const cplx* acc, cplx* scratch,
@@ -299,10 +341,10 @@ void ExchangeOperator::pair_accumulate_blocks(const CS* src_real,
     for (size_t i0 = 0; i0 < active.size(); i0 += bs) {
       const size_t nb = std::min(bs, active.size() - i0);
       pair_form_block_t(src_real, active.data() + i0, nb, tgt_real.data(),
-                        block.data());
+                        block.data(), ng);
       kernel_filter_block(block.data(), nb);
       accumulate_block_t(src_real, active.data() + i0, d, nb, block.data(),
-                         acc.data(), compensated ? comp.data() : nullptr);
+                         acc.data(), compensated ? comp.data() : nullptr, ng);
     }
     gather_accumulate(acc.data(), gathered.data(), out.col(j));
   }
@@ -335,11 +377,11 @@ void ExchangeOperator::weighted_blocks(const CS* src_real,
     for (size_t i0 = 0; i0 < nsrc; i0 += bs) {
       const size_t nb = std::min(bs, nsrc - i0);
       pair_form_block_t(src_real, idx.data() + i0, nb, tgt_real.data(),
-                        block.data());
+                        block.data(), ng);
       kernel_filter_block(block.data(), nb);
       accumulate_weighted_block_t(weight_real, idx.data() + i0, nb,
                                   block.data(), acc.data(),
-                                  compensated ? comp.data() : nullptr);
+                                  compensated ? comp.data() : nullptr, ng);
     }
     gather_accumulate(acc.data(), gathered.data(), out.col(j));
   }

@@ -61,6 +61,9 @@ class ExchangeOperator {
 
   const ExchangeOptions& options() const { return opt_; }
   const std::vector<real_t>& kernel() const { return kernel_; }
+  // FP32 twin of the kernel table (rounded once) — the slab-distributed
+  // exchange filter (dist/slab_exchange) indexes it by global grid index.
+  const std::vector<realf_t>& kernel_f32() const { return kernelf_; }
 
   // Switch the pair-FFT precision in place (both kernel tables are always
   // built); benches/tests sweep modes on one operator this way.
@@ -139,11 +142,21 @@ class ExchangeOperator {
   // fused host apply. idx selects source columns: source i of the block is
   // column idx[i] of src_real (the compressed active-occupation list).
   //
+  // Every pointwise stage also has an explicit-length overload operating on
+  // nloc grid points per orbital instead of the full grid — the z-slab
+  // portions of the 2-D band x grid decomposition (dist/slab_exchange).
+  // The loop bodies are shared, so the slab composition stays bit-identical
+  // to the full-grid one on the points each rank owns.
+  //
   // pair_form_block: block[i] = conj(src[idx[i]]) ⊙ tgt_real (nb pairs).
   void pair_form_block(const cplx* src_real, const size_t* idx, size_t nb,
                        const cplx* tgt_real, cplx* block) const;
   void pair_form_block(const cplxf* src_real, const size_t* idx, size_t nb,
                        const cplxf* tgt_real, cplxf* block) const;
+  void pair_form_block(const cplx* src_real, const size_t* idx, size_t nb,
+                       const cplx* tgt_real, cplx* block, size_t nloc) const;
+  void pair_form_block(const cplxf* src_real, const size_t* idx, size_t nb,
+                       const cplxf* tgt_real, cplxf* block, size_t nloc) const;
   // kernel_filter_block: forward batch FFT, K(G)/Ng multiply, inverse batch
   // FFT on nb pair densities (with FFT-count bookkeeping).
   void kernel_filter_block(cplx* block, size_t nb) const;
@@ -157,6 +170,12 @@ class ExchangeOperator {
   void accumulate_block(const cplxf* src_real, const size_t* idx,
                         const real_t* d, size_t nb, const cplxf* block,
                         cplx* acc, cplx* comp) const;
+  void accumulate_block(const cplx* src_real, const size_t* idx,
+                        const real_t* d, size_t nb, const cplx* block,
+                        cplx* acc, cplx* comp, size_t nloc) const;
+  void accumulate_block(const cplxf* src_real, const size_t* idx,
+                        const real_t* d, size_t nb, const cplxf* block,
+                        cplx* acc, cplx* comp, size_t nloc) const;
   // Weighted variant (mixed-state path): the scalar occupation is replaced
   // by the real-space weight field w, acc[r] += sum_i Ng * w[idx[i]](r) *
   // block[i](r).
@@ -166,6 +185,12 @@ class ExchangeOperator {
   void accumulate_weighted_block(const cplxf* weight_real, const size_t* idx,
                                  size_t nb, const cplxf* block, cplx* acc,
                                  cplx* comp) const;
+  void accumulate_weighted_block(const cplx* weight_real, const size_t* idx,
+                                 size_t nb, const cplx* block, cplx* acc,
+                                 cplx* comp, size_t nloc) const;
+  void accumulate_weighted_block(const cplxf* weight_real, const size_t* idx,
+                                 size_t nb, const cplxf* block, cplx* acc,
+                                 cplx* comp, size_t nloc) const;
   // gather_accumulate: out_col[p] += -alpha * to_sphere(acc)[p]. scratch
   // must hold npw elements; always FP64 (the paper keeps the gather exact).
   void gather_accumulate(const cplx* acc, cplx* scratch, cplx* out_col) const;
@@ -217,18 +242,23 @@ class ExchangeOperator {
   void mixed_naive_blocks(const la::Matrix<CS>& src_real,
                           const la::MatC& sigma, const la::MatC& tgt,
                           la::MatC& out) const;
-  // Templated bodies behind the public per-scalar stage overloads.
+  // Templated bodies behind the public per-scalar stage overloads. nloc is
+  // the per-orbital element count (column stride and loop bound): the full
+  // grid for the rank-local paths, the z-slab size for the 2-D layout. The
+  // unscaled-synthesis weight always uses the GLOBAL grid size (it undoes
+  // the inverse-FFT 1/Ng normalization, a property of the transform, not of
+  // the slab).
   template <typename CS>
   void pair_form_block_t(const CS* src_real, const size_t* idx, size_t nb,
-                         const CS* tgt_real, CS* block) const;
+                         const CS* tgt_real, CS* block, size_t nloc) const;
   template <typename CS>
   void accumulate_block_t(const CS* src_real, const size_t* idx,
                           const real_t* d, size_t nb, const CS* block,
-                          cplx* acc, cplx* comp) const;
+                          cplx* acc, cplx* comp, size_t nloc) const;
   template <typename CS>
   void accumulate_weighted_block_t(const CS* weight_real, const size_t* idx,
                                    size_t nb, const CS* block, cplx* acc,
-                                   cplx* comp) const;
+                                   cplx* comp, size_t nloc) const;
 
   const pw::SphereGridMap* map_;
   ExchangeOptions opt_;

@@ -6,13 +6,15 @@ namespace ptim::netsim {
 
 MemoryFootprint memory_per_rank(const Platform& plat, const SystemSize& sys,
                                 size_t nodes, bool use_shm,
-                                int anderson_history) {
+                                int anderson_history, int grid_columns) {
   MemoryFootprint m;
   const double ranks =
       static_cast<double>(nodes) * static_cast<double>(plat.ranks_per_node);
   const double n = static_cast<double>(sys.norbitals);
   const double npw = static_cast<double>(sys.npw);
-  const double nloc = std::max(1.0, n / ranks);
+  const double pg = std::max(1.0, static_cast<double>(grid_columns));
+  // Bands are distributed over the ranks / pg band rows of the 2-D layout.
+  const double nloc = std::max(1.0, n / std::max(1.0, ranks / pg));
   const double c16 = 16.0;  // complex double
 
   // Band-distributed orbitals: Phi_n, Phi_{n+1}, midpoint, H*Phi, plus the
@@ -20,10 +22,11 @@ MemoryFootprint memory_per_rank(const Platform& plat, const SystemSize& sys,
   const double wf_copies = 4.0 + 2.0 * anderson_history;
   m.wavefunctions = wf_copies * c16 * npw * nloc;
 
-  // Real-space storage: density/potentials on the dense grid (real),
-  // exchange slabs (current + incoming) on the wavefunction grid.
+  // Real-space storage: density/potentials on the dense grid (real,
+  // replicated per column), exchange slabs (current + incoming) on the
+  // wavefunction grid — z-slab-distributed over the pg grid columns.
   m.realspace = 8.0 * 6.0 * static_cast<double>(sys.ng_den) +
-                c16 * 2.0 * static_cast<double>(sys.ng_wfc) * nloc;
+                c16 * 2.0 * static_cast<double>(sys.ng_wfc) * nloc / pg;
 
   // Replicated square matrices: sigma (3 time levels), S, M, plus the
   // Anderson sigma history — the non-scalable block of Sec. IV-B3.

@@ -23,9 +23,15 @@ struct MemoryFootprint {
 // anderson_history: the paper uses 20 copies of the mixed quantities.
 // use_shm: place the square matrices in one node-shared copy (divides the
 // per-rank share by ranks_per_node).
+// grid_columns: pg of the 2-D band x grid layout — the exchange-scratch
+// share of the real-space term (circulating slabs + pair-FFT workspace on
+// the wavefunction grid) is z-slab-distributed and shrinks by pg, while
+// the dense-grid density/potentials stay replicated (the semilocal pass
+// runs redundantly per column). pg = 1 is the pure band-parallel model.
 MemoryFootprint memory_per_rank(const Platform& plat, const SystemSize& sys,
                                 size_t nodes, bool use_shm,
-                                int anderson_history = 20);
+                                int anderson_history = 20,
+                                int grid_columns = 1);
 
 // Largest silicon system (atoms, multiple of 8) that fits in the given
 // per-rank memory budget at the given node count.

@@ -11,8 +11,17 @@
 //   alltoallv, allgatherv, barrier, plus node-scoped shared-memory
 //   windows (MPI_Win_allocate_shared stand-in).
 //
-// Every call records (calls, bytes, seconds) into per-rank CommStats —
-// the measured analogue of the paper's per-op communication table.
+// Communicators can be split (MPI_Comm_split): Comm::split(color, key)
+// groups callers by color, ranks them by (key, parent rank), and returns a
+// subcommunicator whose collectives and point-to-point matching are fully
+// isolated from the parent (every communicator carries its own message
+// context, barrier and staging area). This is what the 2-D band x grid
+// process decomposition is built on: a world of pb*pg ranks splits into pb
+// row (band) communicators and pg column (grid) communicators.
+//
+// Every call records (calls, bytes, seconds) into per-WORLD-rank CommStats
+// (subcommunicator traffic is charged to the owning world rank) — the
+// measured analogue of the paper's per-op communication table.
 
 #include <condition_variable>
 #include <cstring>
@@ -37,7 +46,13 @@ struct OpStats {
 
 struct CommStats {
   std::map<std::string, OpStats> ops;
+  // add() is thread-safe: under the 2-D layout one rank's compute stream
+  // (pencil-transpose Alltoallv inside the slab FFT) and comm stream (band
+  // ring transfers) record into the same per-rank stats concurrently.
+  // Reading `ops` directly is only safe once the run has quiesced (benches
+  // and tests read last_run_stats() after run_ranks returns).
   void add(const std::string& op, long long bytes, double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
     auto& o = ops[op];
     o.calls += 1;
     o.bytes += bytes;
@@ -48,9 +63,20 @@ struct CommStats {
     for (const auto& [k, v] : ops) t += v.seconds;
     return t;
   }
+
+  CommStats() = default;
+  CommStats(const CommStats& other) : ops(other.ops) {}
+  CommStats& operator=(const CommStats& other) {
+    ops = other.ops;
+    return *this;
+  }
+
+ private:
+  std::mutex mu_;
 };
 
 class World;
+struct Group;  // communicator membership + context (defined in comm.cpp)
 
 // Nonblocking request handle.
 struct Request {
@@ -63,16 +89,25 @@ struct Request {
 };
 
 // Per-rank communicator handle. All methods move raw bytes; typed helpers
-// wrap the common complex/real cases.
+// wrap the common complex/real cases. Copyable (a Comm is a lightweight
+// view of a shared Group); copies alias the same communicator.
 class Comm {
  public:
-  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+  Comm(World* world, int rank);  // the world communicator
 
-  int rank() const { return rank_; }
+  int rank() const { return rank_; }  // rank within THIS communicator
   int size() const;
-  int node() const;        // node id = rank / ranks_per_node
-  int node_rank() const;   // rank within the node
+  int world_rank() const;  // underlying world rank (stats/nodes key)
+  int node() const;        // node id = world rank / ranks_per_node
+  int node_rank() const;   // world rank within the node
   int ranks_per_node() const;
+
+  // MPI_Comm_split: collective over this communicator. Callers with equal
+  // `color` form one subcommunicator, ranked by (key, parent rank). Every
+  // split communicator has a private message context, so traffic on it can
+  // never be matched by sends on the parent or on a sibling. Nested splits
+  // are allowed; the returned Comm is a value (drop it to "free" it).
+  Comm split(int color, int key);
 
   void barrier();
 
@@ -127,16 +162,31 @@ class Comm {
   // the receive side: recv_counts[i] elements arrive from rank i).
   void alltoallv(const cplx* send, const std::vector<size_t>& send_counts,
                  cplx* recv, const std::vector<size_t>& recv_counts);
+  // FP32 slab overload — the reduced-precision pencil transposes of the
+  // distributed slab FFT move cplxf payloads (half the Alltoallv bytes).
+  void alltoallv(const cplxf* send, const std::vector<size_t>& send_counts,
+                 cplxf* recv, const std::vector<size_t>& recv_counts);
 
   // Node-shared window: all ranks of a node receive the same buffer; the
-  // buffer is zero-initialized; identified by name (collective call).
+  // buffer is zero-initialized; identified by name (collective call). The
+  // window is scoped to this communicator (same name on different split
+  // communicators yields distinct windows).
   cplx* shm_allocate(const std::string& name, size_t n);
 
   CommStats& stats();
 
  private:
+  Comm(World* world, int rank, std::shared_ptr<Group> group);
+
+  template <typename T>
+  void alltoallv_impl(const T* send, const std::vector<size_t>& send_counts,
+                      T* recv, const std::vector<size_t>& recv_counts);
+
+  int world_rank_of(int local) const;
+
   World* world_;
-  int rank_;
+  int rank_;  // rank within group_
+  std::shared_ptr<Group> group_;
 };
 
 // Synthetic wire model for overlap benches: a point-to-point message

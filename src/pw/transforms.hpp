@@ -48,6 +48,17 @@ class SphereGridMap {
   void to_real_batch(const la::MatC& coeffs, la::MatCf& real_space) const;
   void to_sphere_batch(const la::MatCf& real_space, la::MatC& coeffs) const;
 
+  // --- slab-distributed transforms (2-D band x grid layout) -------------
+  // The normalization factors, exposed so dist/slab_exchange can reproduce
+  // the exact to_real / to_sphere arithmetic when the sphere coefficients
+  // are scattered into a y-pencil portion of the grid and the FFT runs as
+  // a distributed slab transform (fft::DistFft3) instead of rank-locally.
+  // Conventions (see to_real/to_sphere above): the FP64 single-column
+  // to_real applies scale_to_real AFTER the inverse FFT; the batch and
+  // FP32 paths fold it into the scatter. The slab code mirrors each path.
+  real_t scale_to_real() const { return scale_to_real_; }
+  real_t scale_to_sphere() const { return scale_to_sphere_; }
+
  private:
   const grid::GSphere* sphere_;
   const grid::FftGrid* grid_;

@@ -20,6 +20,7 @@
 
 #include <optional>
 
+#include "dist/layout.hpp"
 #include "ham/hamiltonian.hpp"
 #include "td/laser.hpp"
 #include "td/state.hpp"
@@ -50,6 +51,12 @@ struct PtImOptions {
   // Hamiltonian's configuration. Trajectories are bit-identical across
   // backends.
   std::optional<backend::Kind> exchange_backend;
+  // 2-D band x grid process layout of distributed runs (ignored by the
+  // serial propagator): nranks = pb*pg ranks split into pb band rows and pg
+  // grid columns; exact exchange FFTs run slab-distributed over the grid
+  // dimension (dist/slab_exchange). pg = 1 (default) is the pure
+  // band-parallel layout, bit-for-bit today's path.
+  dist::ProcessGrid process_grid;
   // false = PT-CN mode: freeze sigma and evolve only Phi — the earlier
   // parallel-transport Crank-Nicolson scheme (Jia et al., JCTC 2018) that
   // is valid for gapped/pure-state systems. PT-IM generalizes it to mixed

@@ -1,9 +1,14 @@
 #pragma once
 // Shared fixtures: tiny silicon-like systems small enough for sub-second
-// unit tests, plus random-matrix helpers.
+// unit tests, random-matrix helpers, and the golden-trajectory fixture
+// format every regression suite pins against (tests/golden/).
 
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "grid/fft_grid.hpp"
 #include "grid/gsphere.hpp"
@@ -82,6 +87,74 @@ inline la::MatC random_orbitals(size_t npw, size_t nb, unsigned seed) {
   la::MatC phi = random_matrix(npw, nb, seed);
   pw::orthonormalize_lowdin(phi);
   return phi;
+}
+
+// ------------------------------------------------------ golden fixtures --
+// Serialized per-step observables of a reference trajectory, pinned in
+// tests/golden/ and replayed by regression suites (serial, band-parallel
+// and 2-D band x grid configurations must all land within tolerance of the
+// SAME file). Text format, one header line then one line per step with
+// full-precision (%.17g) values:
+//   # <free-form description>
+//   step <k> energy <E> dipole <D> sigma_trace <T>
+// PTIM_GOLDEN_DIR is injected by tests/CMakeLists.txt and points at the
+// source-tree fixture directory, so ctest can run from any build dir.
+// Regenerate with PTIM_GOLDEN_REGEN=1 (see test_golden.cpp).
+
+struct GoldenStep {
+  real_t energy = 0.0;
+  real_t dipole = 0.0;
+  real_t sigma_trace = 0.0;
+};
+
+struct GoldenTrajectory {
+  std::string description;
+  std::vector<GoldenStep> steps;
+};
+
+inline std::string golden_path(const std::string& name) {
+#ifdef PTIM_GOLDEN_DIR
+  return std::string(PTIM_GOLDEN_DIR) + "/" + name;
+#else
+  return "tests/golden/" + name;
+#endif
+}
+
+inline GoldenTrajectory golden_load(const std::string& name) {
+  const std::string path = golden_path(name);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  PTIM_CHECK_MSG(f != nullptr, "golden fixture missing: " << path);
+  GoldenTrajectory t;
+  char line[512];
+  while (std::fgets(line, sizeof(line), f)) {
+    if (line[0] == '#') {
+      t.description += line + 1;
+      continue;
+    }
+    int k = 0;
+    double e = 0.0, d = 0.0, tr = 0.0;
+    if (std::sscanf(line, "step %d energy %lf dipole %lf sigma_trace %lf",
+                    &k, &e, &d, &tr) == 4) {
+      PTIM_CHECK_MSG(k == static_cast<int>(t.steps.size()),
+                     "golden fixture out of order: " << path);
+      t.steps.push_back({e, d, tr});
+    }
+  }
+  std::fclose(f);
+  PTIM_CHECK_MSG(!t.steps.empty(), "golden fixture empty: " << path);
+  return t;
+}
+
+inline void golden_save(const std::string& name, const GoldenTrajectory& t) {
+  const std::string path = golden_path(name);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PTIM_CHECK_MSG(f != nullptr, "cannot write golden fixture: " << path);
+  std::fprintf(f, "#%s\n", t.description.c_str());
+  for (size_t k = 0; k < t.steps.size(); ++k)
+    std::fprintf(f, "step %zu energy %.17g dipole %.17g sigma_trace %.17g\n",
+                 k, t.steps[k].energy, t.steps[k].dipole,
+                 t.steps[k].sigma_trace);
+  std::fclose(f);
 }
 
 }  // namespace ptim::test

@@ -160,3 +160,70 @@ TEST(Model, MemoryFootprintScalesAsPaper) {
   // SHM divides the square-matrix footprint by ranks/node.
   EXPECT_NEAR(sq_bytes / 4.0, sq_bytes * 0.25, 1e-9);
 }
+
+TEST(Model, Fig10RowGenerationInvariants) {
+  // The row generator itself (not just the cost model): speedup and
+  // parallel efficiency must satisfy their defining identities exactly,
+  // the first row is the anchor, node counts are echoed verbatim, and
+  // efficiency never exceeds 1 (strong scaling cannot be superlinear in
+  // this model).
+  const std::vector<size_t> nodes{15, 30, 60, 120, 240, 480};
+  for (const auto& plat : {Platform::fugaku_arm(), Platform::gpu_a100()}) {
+    const auto rows = fig10_strong(plat, 768, nodes);
+    ASSERT_EQ(rows.size(), nodes.size());
+    EXPECT_EQ(rows[0].speedup, 1.0);
+    EXPECT_EQ(rows[0].parallel_efficiency, 1.0);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(rows[i].nodes, nodes[i]);
+      EXPECT_GT(rows[i].step_seconds, 0.0);
+      if (i > 0) {
+        // Defining identities against row 0.
+        EXPECT_NEAR(rows[i].speedup,
+                    rows[0].step_seconds / rows[i].step_seconds, 1e-12);
+        EXPECT_NEAR(rows[i].parallel_efficiency,
+                    rows[i].speedup /
+                        (static_cast<double>(nodes[i]) /
+                         static_cast<double>(nodes[0])),
+                    1e-12);
+        // Monotone step time; efficiency bounded by 1.
+        EXPECT_LT(rows[i].step_seconds, rows[i - 1].step_seconds);
+        EXPECT_LE(rows[i].parallel_efficiency, 1.0 + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Model, Fig11RowGenerationInvariants) {
+  // Weak scaling rows: the ideal-N^2 reference is anchored at the FIRST
+  // row (ideal == measured there) and scales exactly as (N/N0)^2; node
+  // counts follow the paper's orbitals / ranks_per_node / orbitals_per_rank
+  // prescription with the 1-node floor.
+  const std::vector<size_t> atoms{48, 96, 192, 384, 768, 1536};
+  for (const auto& plat : {Platform::fugaku_arm(), Platform::gpu_a100()}) {
+    for (const size_t opr : {size_t{1}, size_t{10}}) {
+      const auto rows = fig11_weak(plat, atoms, opr);
+      ASSERT_EQ(rows.size(), atoms.size());
+      EXPECT_EQ(rows[0].ideal_n2_seconds, rows[0].step_seconds);
+      const double n0 =
+          static_cast<double>(SystemSize::silicon(atoms[0]).norbitals);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(rows[i].natoms, atoms[i]);
+        const SystemSize sys = SystemSize::silicon(atoms[i]);
+        const size_t ranks = sys.norbitals / opr;
+        const size_t want_nodes = std::max<size_t>(
+            1, ranks / static_cast<size_t>(plat.ranks_per_node));
+        EXPECT_EQ(rows[i].nodes, want_nodes);
+        const double nn = static_cast<double>(sys.norbitals);
+        EXPECT_NEAR(rows[i].ideal_n2_seconds,
+                    rows[0].step_seconds * (nn / n0) * (nn / n0),
+                    1e-9 * rows[i].ideal_n2_seconds);
+        // Weak-scaling time grows with system size but stays sub-N^2
+        // beyond the anchor (the distributed FFT + ring amortization).
+        if (i > 0) {
+          EXPECT_GT(rows[i].step_seconds, rows[i - 1].step_seconds);
+          EXPECT_LT(rows[i].step_seconds, rows[i].ideal_n2_seconds);
+        }
+      }
+    }
+  }
+}
