@@ -1,0 +1,101 @@
+// Ensemble trajectory throughput — the serving-layer measurement behind
+// core::EnsembleDriver: N delta-kick trajectories over ONE prepared ground
+// state, propagated one-at-a-time (the pre-ensemble baseline: every
+// trajectory pays its own exchange applications) versus in lockstep
+// batches whose ACE builds run through ExchangeOperator::apply_diag_packed
+// (all in-flight trajectories' pair-density blocks share batched FFTs).
+//
+// The batched path is regression-pinned bitwise identical to the baseline
+// (tests/test_ensemble.cpp); this bench reports what the packing buys in
+// trajectories/hour. Writes BENCH_throughput.json.
+
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "core/ensemble.hpp"
+#include "core/simulation.hpp"
+
+using namespace ptim;
+
+namespace {
+
+std::vector<core::EnsembleJob> make_jobs(int n) {
+  std::vector<core::EnsembleJob> jobs;
+  for (int i = 0; i < n; ++i) {
+    core::EnsembleJob j;
+    j.name = "kick" + std::to_string(i);
+    j.kick = {1e-3 * static_cast<real_t>(i + 1), 0.0, 0.0};
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+bool states_identical(const td::TdState& a, const td::TdState& b) {
+  return a.phi.size() == b.phi.size() && a.sigma.size() == b.sigma.size() &&
+         std::memcmp(a.phi.data(), b.phi.data(),
+                     a.phi.size() * sizeof(cplx)) == 0 &&
+         std::memcmp(a.sigma.data(), b.sigma.data(),
+                     a.sigma.size() * sizeof(cplx)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 6;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  bench::header("ensemble trajectory throughput (PT-IM-ACE, hybrid)");
+  std::printf("%d trajectories x %d steps over one shared ground state\n\n",
+              n, steps);
+
+  core::SystemSpec spec;
+  spec.ecut = 2.0;
+  spec.temperature_k = 8000.0;
+  spec.scf.tol_rho = 1e-6;
+  core::Simulation sim(spec);
+  sim.prepare_ground_state();
+
+  core::RunConfig cfg;
+  cfg.steps = steps;
+  cfg.dt = 1.0;
+  cfg.variant = td::PtImVariant::kAce;
+
+  bench::BenchJson json("throughput");
+  const std::string shape =
+      "n=" + std::to_string(n) + " steps=" + std::to_string(steps);
+
+  std::printf("%10s %12s %16s %10s\n", "width", "seconds", "traj/hour",
+              "speedup");
+  bench::rule();
+  double base_secs = 0.0;
+  std::vector<core::EnsembleJobResult> baseline;
+  for (const size_t width : {size_t{1}, size_t{2}, size_t{0}}) {
+    core::EnsembleDriver ens(sim, cfg);
+    for (auto& j : make_jobs(n)) ens.submit(std::move(j));
+    Timer t;
+    auto results = ens.run_all(width);
+    const double secs = t.seconds();
+    if (width == 1) {
+      base_secs = secs;
+      baseline = std::move(results);
+    } else {
+      // The whole point of the packing is that it costs no accuracy at
+      // all: per-trajectory results must be bitwise the baseline's.
+      for (size_t i = 0; i < baseline.size(); ++i)
+        if (!states_identical(baseline[i].final_state,
+                              results[i].final_state)) {
+          std::printf("FAIL: width=%zu diverged from baseline on job %zu\n",
+                      width, i);
+          return 1;
+        }
+    }
+    const std::string label =
+        width == 0 ? "all" : std::to_string(width);
+    std::printf("%10s %12.3f %16.1f %9.2fx\n", label.c_str(), secs,
+                n / secs * 3600.0, base_secs / secs);
+    json.add("ensemble", shape + " width=" + label, secs);
+  }
+  std::printf("\n(batched widths verified bitwise identical to width=1)\n");
+  json.write();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Batched absorption spectra — the ensemble serving layer end to end: one
+// ground state, N delta-kick trajectories (three polarizations x kick
+// strengths) submitted to core::EnsembleDriver and propagated in lockstep,
+// their ACE builds sharing packed exchange FFTs. Each job's dipole series
+// (bitwise identical to an independent run of that kick) is Fourier
+// transformed into an absorption strength function; checkpointing the
+// strongest kick's endpoint shows how a job hands off to a resume.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/ensemble.hpp"
+#include "core/simulation.hpp"
+#include "io/checkpoint.hpp"
+
+using namespace ptim;
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 24;
+
+  core::SystemSpec spec;
+  spec.ecut = 2.0;
+  spec.temperature_k = 0.0;
+  spec.scf.tol_rho = 1e-7;
+  core::Simulation sim(spec);
+  sim.prepare_ground_state();
+
+  core::RunConfig cfg;
+  cfg.steps = steps;
+  cfg.dt = 1.5;
+  cfg.variant = td::PtImVariant::kAce;
+
+  const grid::Vec3 axes[3] = {{1.0, 0.0, 0.0}, {0.0, 1.0, 0.0},
+                              {0.0, 0.0, 1.0}};
+  const char* axis_name[3] = {"x", "y", "z"};
+  const real_t kicks[2] = {1e-3, 2e-3};
+
+  core::EnsembleDriver ens(sim, cfg);
+  core::MeasurementSet proto;
+  for (int a = 0; a < 3; ++a)
+    proto.add(std::string("dipole_") + axis_name[a], sim.dipole_probe(axes[a]));
+  ens.set_measurements(std::move(proto));
+  std::vector<real_t> job_kick;
+  std::vector<int> job_axis;
+  for (const real_t k : kicks)
+    for (int a = 0; a < 3; ++a) {
+      core::EnsembleJob job;
+      job.name = std::string("kick_") + axis_name[a] + "_" +
+                 std::to_string(k);
+      job.kick = {k * axes[a][0], k * axes[a][1], k * axes[a][2]};
+      ens.submit(std::move(job));
+      job_kick.push_back(k);
+      job_axis.push_back(a);
+    }
+
+  std::printf("propagating %zu trajectories x %d steps in one batch...\n",
+              ens.pending(), steps);
+  const auto results = ens.run_all();
+
+  // Hann-windowed spectrum per job, response measured along its own kick.
+  std::printf("\n# S(w) per job (arb. units)\n%12s", "omega (Ha)");
+  for (const auto& r : results) std::printf(" %14s", r.name.c_str());
+  std::printf("\n");
+  const real_t t_max = static_cast<real_t>(steps) * cfg.dt;
+  for (real_t w = 0.1; w <= 1.0; w += 0.05) {
+    std::printf("%12.4f", w);
+    for (size_t j = 0; j < results.size(); ++j) {
+      const auto& d = results[j].measurements.series(
+          std::string("dipole_") + axis_name[job_axis[j]]);
+      cplx dw = 0.0;
+      for (size_t i = 0; i < d.size(); ++i) {
+        const real_t t = static_cast<real_t>(i + 1) * cfg.dt;
+        const real_t window = 0.5 * (1.0 + std::cos(kPi * t / t_max));
+        dw += (d[i] - d.front()) * window * std::exp(cplx(0.0, w * t)) *
+              cfg.dt;
+      }
+      std::printf(" %14.6e", w * std::imag(dw) / job_kick[j]);
+    }
+    std::printf("\n");
+  }
+
+  // Hand the last trajectory off to a future resume: a checkpoint bound to
+  // this configuration (io + RunConfig docs describe the format).
+  io::Checkpoint ckpt =
+      sim.checkpoint(cfg, results.back().final_state,
+                     static_cast<uint64_t>(steps));
+  io::save_checkpoint("ensemble_last.ckpt", ckpt);
+  std::printf("\ncheckpointed '%s' after %d steps to ensemble_last.ckpt "
+              "(config hash %llx)\n",
+              results.back().name.c_str(), steps,
+              static_cast<unsigned long long>(ckpt.config_hash));
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "core/measurements.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptim::core {
+
+void RunningStats::add(real_t x) {
+  if (count == 0) {
+    min = max = x;
+  } else {
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  ++count;
+  const real_t delta = x - mean;
+  mean += delta / real_t(count);
+  m2 += delta * (x - mean);
+}
+
+real_t RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void MeasurementSet::add(std::string name, Probe probe, bool needs_phi) {
+  PTIM_CHECK_MSG(!has(name), "measurement already registered: " << name);
+  PTIM_CHECK_MSG(probe != nullptr, "null probe for measurement: " << name);
+  Entry e;
+  e.name = std::move(name);
+  e.probe = std::move(probe);
+  e.needs_phi = needs_phi;
+  entries_.push_back(std::move(e));
+}
+
+void MeasurementSet::record(const MeasureContext& ctx) {
+  for (auto& e : entries_) {
+    PTIM_CHECK_MSG(!e.needs_phi || ctx.phi != nullptr,
+                   "probe '" << e.name
+                             << "' needs phi but none was provided");
+    const real_t x = e.probe(ctx);
+    e.series.push_back(x);
+    e.stats.add(x);
+  }
+}
+
+bool MeasurementSet::needs_phi() const {
+  for (const auto& e : entries_)
+    if (e.needs_phi) return true;
+  return false;
+}
+
+std::vector<std::string> MeasurementSet::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+bool MeasurementSet::has(const std::string& name) const {
+  for (const auto& e : entries_)
+    if (e.name == name) return true;
+  return false;
+}
+
+const MeasurementSet::Entry& MeasurementSet::find(
+    const std::string& name) const {
+  for (const auto& e : entries_)
+    if (e.name == name) return e;
+  PTIM_CHECK_MSG(false, "no such measurement: " << name);
+  std::abort();  // unreachable: PTIM_CHECK_MSG throws
+}
+
+const std::vector<real_t>& MeasurementSet::series(
+    const std::string& name) const {
+  return find(name).series;
+}
+
+const RunningStats& MeasurementSet::stats(const std::string& name) const {
+  return find(name).stats;
+}
+
+std::vector<real_t> MeasurementSet::binned(const std::string& name,
+                                           size_t nbins) const {
+  PTIM_CHECK_MSG(nbins > 0, "binned: nbins must be positive");
+  const auto& s = find(name).series;
+  if (s.empty()) return {};
+  const size_t eff = std::min(nbins, s.size());
+  const size_t width = s.size() / eff;  // >= 1; remainder joins the last bin
+  std::vector<real_t> out(eff, 0.0);
+  for (size_t b = 0; b < eff; ++b) {
+    const size_t lo = b * width;
+    const size_t hi = (b + 1 == eff) ? s.size() : lo + width;
+    real_t acc = 0.0;
+    for (size_t i = lo; i < hi; ++i) acc += s[i];
+    out[b] = acc / real_t(hi - lo);
+  }
+  return out;
+}
+
+namespace probes {
+
+Probe sigma_trace() {
+  return [](const MeasureContext& ctx) {
+    real_t tr = 0.0;
+    for (size_t i = 0; i < ctx.sigma->rows(); ++i)
+      tr += std::real((*ctx.sigma)(i, i));
+    return tr;
+  };
+}
+
+Probe density_sum(real_t dvol) {
+  return [dvol](const MeasureContext& ctx) {
+    real_t total = 0.0;
+    for (const real_t r : *ctx.rho) total += r;
+    return total * dvol;
+  };
+}
+
+}  // namespace probes
+
+}  // namespace ptim::core

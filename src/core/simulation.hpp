@@ -11,9 +11,14 @@
 //   for (...) { prop->step(state); record(sim.dipole_x(state)); }
 
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "core/measurements.hpp"
+#include "core/run_config.hpp"
 #include "dist/band_ham.hpp"
+#include "io/checkpoint.hpp"
 #include "grid/fft_grid.hpp"
 #include "grid/gsphere.hpp"
 #include "gs/scf.hpp"
@@ -52,13 +57,64 @@ class Simulation {
   // Initial TD state: Phi from the ground state, sigma = diag(f_FD).
   td::TdState initial_state() const;
 
-  // Attach a laser; t_max in a.u. determines the envelope placement.
+  // Attach a laser WITHOUT placing its envelope: the center/width defaults
+  // are resolved against the time horizon of whichever run launches next
+  // (RunConfig::horizon), so one Simulation can serve ensemble jobs whose
+  // horizons differ. Re-resolved at every run start.
+  void set_laser(td::LaserParams p);
+  // DEPRECATED eager form: places the envelope at attach time against an
+  // explicit t_max. Kept as a thin wrapper for existing callers; prefer
+  // set_laser(p) + RunConfig.
   const td::LaserPulse* set_laser(td::LaserParams p, real_t t_max);
+  // Build the pulse for a known horizon now (no-op without pending params);
+  // run() calls this automatically.
+  const td::LaserPulse* resolve_laser(real_t horizon);
   const td::LaserPulse* laser() const { return laser_.get(); }
 
   // --- propagators ------------------------------------------------------
   std::unique_ptr<td::PtImPropagator> make_ptim(td::PtImOptions opt);
+  // RunConfig form: resolves the lazy laser against cfg's horizon and
+  // applies the exchange knobs (precision / backend / batch) before
+  // constructing the propagator.
+  std::unique_ptr<td::PtImPropagator> make_ptim(const RunConfig& cfg);
   std::unique_ptr<td::Rk4Propagator> make_rk4(td::Rk4Options opt);
+
+  // --- unified run driver -----------------------------------------------
+  // One entry point for serial (nranks == 1) and band/grid-distributed
+  // propagation, with per-step sampling of the registered measurements.
+  // `start`/`start_step` resume a split trajectory (e.g. from a
+  // checkpoint); measurements are sampled after every step with ctx.step =
+  // start_step + k, so a split run's series concatenate to the
+  // uninterrupted run's.
+  struct RunResult {
+    td::TdState final_state;                // gathered full state
+    MeasurementSet measurements;            // per-step series + statistics
+    std::vector<td::PtImStepStats> steps;   // per-step solver statistics
+    std::vector<ptmpi::CommStats> comm;     // distributed runs only
+  };
+  RunResult run(const RunConfig& cfg, MeasurementSet measurements = {},
+                const td::TdState* start = nullptr, uint64_t start_step = 0);
+
+  // --- checkpoint/restart -----------------------------------------------
+  // RNG-free hash binding a checkpoint to (system, physics config, laser):
+  // resuming under a different configuration is a descriptive error.
+  uint64_t config_hash(const RunConfig& cfg) const;
+  // Snapshot after `steps_done` steps of a cfg run (captures the live
+  // vector potential — the laser phase / delta-kick carrier).
+  io::Checkpoint checkpoint(const RunConfig& cfg, const td::TdState& s,
+                            uint64_t steps_done) const;
+  // Re-arm the Hamiltonian from a loaded checkpoint (vector potential) and
+  // hand back the state to resume from.
+  td::TdState restore(const io::Checkpoint& c);
+
+  // --- measurement probes -----------------------------------------------
+  Probe dipole_probe(grid::Vec3 dir) const;
+  // Total-energy probe (register with needs_phi = true). Samples through
+  // this Simulation's Hamiltonian exactly like energy().
+  Probe energy_probe();
+  // Sample a full state outside a run (e.g. the t = 0 point of a
+  // spectrum); records with the given step index.
+  void measure(MeasurementSet& m, const td::TdState& s, int step) const;
 
   // --- precision policy -------------------------------------------------
   // Scalar type of the exact-exchange hot path (pair FFTs, distributed ring
@@ -80,12 +136,25 @@ class Simulation {
   }
   backend::Kind exchange_backend() const { return h_->exchange_backend(); }
 
+  // Batched-FFT block width of the exchange pair pipeline (throughput-only
+  // knob, bit-identical across widths). Recorded in the spec so per-rank
+  // Hamiltonians inherit it.
+  void set_exchange_batch(size_t bs) {
+    spec_.ham.exchange.batch_size = bs;
+    h_->set_exchange_batch(bs);
+  }
+  size_t exchange_batch() const { return h_->exchange_batch(); }
+
   // --- band-parallel propagation ----------------------------------------
   // Fresh Hamiltonian over this simulation's (shared, read-only) grids and
   // atoms: each ptmpi rank of a distributed run needs its own instance
   // because the Hamiltonian carries mutable density/exchange state.
   std::unique_ptr<ham::Hamiltonian> make_rank_hamiltonian() const;
 
+  // DEPRECATED: the pre-RunConfig option bundle. propagate_distributed
+  // converts it 1:1 into a RunConfig and forwards to run() (a regression
+  // test pins the two paths bitwise-identical); new code should call run()
+  // directly.
   struct DistRunOptions {
     int nranks = 2;
     int ranks_per_node = 1;
@@ -131,6 +200,7 @@ class Simulation {
   std::unique_ptr<grid::FftGrid> den_grid_;
   std::unique_ptr<ham::Hamiltonian> h_;
   std::unique_ptr<td::LaserPulse> laser_;
+  std::optional<td::LaserParams> pending_laser_;  // lazy envelope placement
   gs::ScfResult gs_;
   bool gs_done_ = false;
   size_t nbands_ = 0;

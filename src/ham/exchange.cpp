@@ -500,6 +500,128 @@ void ExchangeOperator::apply_diag(const la::MatC& src,
                   accumulate);
 }
 
+namespace {
+
+// Per-job progress of a packed application (CS = cplx or cplxf, matching
+// the operator's precision policy). Each cursor replays EXACTLY the loop
+// structure of pair_accumulate_blocks — column by column, block by block in
+// order — so sharing the FFT batch with other jobs cannot change its
+// arithmetic.
+template <typename CS>
+struct PackedCursor {
+  la::Matrix<CS> src_real;       // sources in real space (owned)
+  const real_t* d = nullptr;     // occupations, indexed by `active`
+  const la::MatC* tgt = nullptr;
+  la::MatC* out = nullptr;
+  std::vector<size_t> active;    // nonzero-occupation source list
+  std::vector<CS> tgt_real;
+  std::vector<cplx> acc, comp, gathered;
+  size_t j = 0;                  // current target column
+  size_t i0 = 0;                 // next source block start within `active`
+  bool col_open = false;
+  bool done = false;
+};
+
+// Round-robin block engine over a pack of cursors: one batch_size block per
+// unfinished job per round, one concatenated kernel_filter_block call, then
+// per-job accumulation. Uses only the public stage primitives, so each
+// job's per-block arithmetic is the fused engine's by construction.
+template <typename CS>
+void packed_blocks(const ExchangeOperator& x, std::vector<PackedCursor<CS>>& cur,
+                   bool compensated) {
+  const size_t ng = x.map().grid().size();
+  const size_t bs = std::max<size_t>(1, x.batch_size());
+  std::vector<CS> block(cur.size() * bs * ng);
+  struct Member {
+    PackedCursor<CS>* c;
+    size_t nb;
+    size_t off;  // element offset into the shared block buffer
+  };
+  std::vector<Member> members;
+  members.reserve(cur.size());
+  for (;;) {
+    members.clear();
+    size_t width = 0;
+    for (auto& c : cur) {
+      if (c.done) continue;
+      if (!c.col_open) {
+        x.map().to_real(c.tgt->col(c.j), c.tgt_real.data());
+        std::fill(c.acc.begin(), c.acc.end(), cplx(0.0));
+        std::fill(c.comp.begin(), c.comp.end(), cplx(0.0));
+        c.i0 = 0;
+        c.col_open = true;
+      }
+      const size_t nb = std::min(bs, c.active.size() - c.i0);
+      x.pair_form_block(c.src_real.data(), c.active.data() + c.i0, nb,
+                        c.tgt_real.data(), block.data() + width * ng, ng);
+      members.push_back({&c, nb, width});
+      width += nb;
+    }
+    if (members.empty()) break;
+    x.kernel_filter_block(block.data(), width);
+    for (const Member& m : members) {
+      PackedCursor<CS>& c = *m.c;
+      x.accumulate_block(c.src_real.data(), c.active.data() + c.i0, c.d, m.nb,
+                         block.data() + m.off * ng, c.acc.data(),
+                         compensated ? c.comp.data() : nullptr, ng);
+      c.i0 += m.nb;
+      if (c.i0 >= c.active.size()) {
+        x.gather_accumulate(c.acc.data(), c.gathered.data(),
+                            c.out->col(c.j));
+        ++c.j;
+        c.col_open = false;
+        if (c.j >= c.tgt->cols()) c.done = true;
+      }
+    }
+  }
+}
+
+template <typename CS>
+void run_packed(const ExchangeOperator& x,
+                const std::vector<ExchangeOperator::DiagApplyJob>& jobs,
+                bool compensated) {
+  const size_t ng = x.map().grid().size();
+  std::vector<PackedCursor<CS>> cur(jobs.size());
+  for (size_t k = 0; k < jobs.size(); ++k) {
+    const auto& job = jobs[k];
+    PackedCursor<CS>& c = cur[k];
+    x.map().to_real_batch(*job.src, c.src_real);
+    c.d = job.d->data();
+    c.tgt = job.tgt;
+    c.out = job.out;
+    c.active.reserve(job.d->size());
+    for (size_t i = 0; i < job.d->size(); ++i)
+      if ((*job.d)[i] != 0.0) c.active.push_back(i);
+    c.tgt_real.resize(ng);
+    c.acc.resize(ng);
+    if (compensated) c.comp.resize(ng);
+    c.gathered.resize(job.tgt->rows());
+    c.done = c.active.empty() || job.tgt->cols() == 0;
+  }
+  packed_blocks(x, cur, compensated);
+}
+
+}  // namespace
+
+void ExchangeOperator::apply_diag_packed(const std::vector<DiagApplyJob>& jobs,
+                                         bool accumulate) const {
+  ScopedTimer t("exchange.diag_packed");
+  for (const DiagApplyJob& job : jobs) {
+    PTIM_CHECK(job.src && job.d && job.tgt && job.out);
+    PTIM_CHECK(job.d->size() == job.src->cols());
+    PTIM_CHECK(job.out->rows() == job.tgt->rows() &&
+               job.out->cols() == job.tgt->cols());
+    if (!accumulate) job.out->fill(cplx(0.0));
+  }
+  if (jobs.empty()) return;
+  if (opt_.precision != Precision::kDouble) {
+    run_packed<cplxf>(*this, jobs,
+                      opt_.precision == Precision::kSingleCompensated);
+  } else {
+    run_packed<cplx>(*this, jobs, false);
+  }
+}
+
 void ExchangeOperator::apply_mixed_naive(const la::MatC& src,
                                          const la::MatC& sigma,
                                          const la::MatC& tgt, la::MatC& out,

@@ -28,6 +28,7 @@
 // The mixing fraction alpha is folded into the returned operator so callers
 // always see  out (+)= alpha * Vx[P] * targets.
 
+#include <algorithm>
 #include <atomic>
 #include <vector>
 
@@ -74,10 +75,39 @@ class ExchangeOperator {
   void set_backend(backend::Kind k) { opt_.backend = k; }
   backend::Kind backend() const { return opt_.backend; }
 
+  // Batched-FFT block width of the pair pipeline. Bit-identical across
+  // widths (the per-column block partitioning only regroups the same
+  // per-lane transforms and the same in-order FP64 accumulation), so this
+  // is a pure throughput knob.
+  void set_batch_size(size_t bs) { opt_.batch_size = std::max<size_t>(1, bs); }
+  size_t batch_size() const { return opt_.batch_size; }
+
   // out (+)= alpha*Vx*tgt with sources (src, d). src/tgt/out: npw x nband.
   void apply_diag(const la::MatC& src, const std::vector<real_t>& d,
                   const la::MatC& tgt, la::MatC& out,
                   bool accumulate = false) const;
+
+  // One independent apply_diag problem of a packed application: the job's
+  // sources/occupations/targets are its own, only the batched pair FFTs are
+  // shared with the other jobs of the pack.
+  struct DiagApplyJob {
+    const la::MatC* src = nullptr;        // npw x nsrc source orbitals
+    const std::vector<real_t>* d = nullptr;  // nsrc occupations
+    const la::MatC* tgt = nullptr;        // npw x ntgt targets
+    la::MatC* out = nullptr;              // accumulated result, tgt shape
+  };
+
+  // Apply several independent diag-exchange problems through SHARED batched
+  // pair FFTs: each round takes one batch_size block from every unfinished
+  // job, concatenates them into a single forward/inverse batch, then
+  // accumulates each slice back into its own job. The ensemble driver packs
+  // one job per in-flight trajectory this way. Per job the result is
+  // BITWISE identical to a standalone apply_diag call: every job keeps its
+  // own column order, block partitioning and FP64 accumulation order, and
+  // each lane of the batched FFT transforms independently of its neighbors
+  // (see fft/fft.hpp).
+  void apply_diag_packed(const std::vector<DiagApplyJob>& jobs,
+                         bool accumulate = false) const;
 
   // Paper Alg. 2 baseline: full sigma, triple loop, FFT innermost.
   void apply_mixed_naive(const la::MatC& src, const la::MatC& sigma,

@@ -78,6 +78,10 @@ class Hamiltonian {
   // every mode.
   void set_exchange_backend(backend::Kind k) { xop_.set_backend(k); }
   backend::Kind exchange_backend() const { return xop_.backend(); }
+  // Batched-FFT block width of the exchange pair pipeline (a pure
+  // throughput knob; bit-identical across widths).
+  void set_exchange_batch(size_t bs) { xop_.set_batch_size(bs); }
+  size_t exchange_batch() const { return xop_.batch_size(); }
   void set_ace(AceOperator ace) { ace_ = std::move(ace); xmode_ = ExchangeMode::kAce; }
   const AceOperator& ace() const { return ace_; }
 

@@ -1,0 +1,133 @@
+#include "io/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ptim::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'T', 'I', 'M', 'C', 'K', 'P', 'T'};
+
+// Serializer that both writes bytes and threads them through the FNV-1a
+// checksum, so the on-disk checksum covers exactly what was emitted.
+struct Writer {
+  std::FILE* f;
+  uint64_t hash = kFnvOffset;
+  bool hashing = false;
+
+  void bytes(const void* p, size_t n) {
+    PTIM_CHECK_MSG(std::fwrite(p, 1, n, f) == n, "checkpoint write failed");
+    if (hashing) hash = fnv1a(p, n, hash);
+  }
+  template <class T>
+  void pod(const T& v) {
+    bytes(&v, sizeof(T));
+  }
+};
+
+struct Reader {
+  std::FILE* f;
+  const std::string* path;
+  uint64_t hash = kFnvOffset;
+  bool hashing = false;
+
+  void bytes(void* p, size_t n) {
+    PTIM_CHECK_MSG(std::fread(p, 1, n, f) == n,
+                   "checkpoint truncated: " << *path);
+    if (hashing) hash = fnv1a(p, n, hash);
+  }
+  template <class T>
+  T pod() {
+    T v;
+    bytes(&v, sizeof(T));
+    return v;
+  }
+};
+
+struct FileCloser {
+  std::FILE* f;
+  ~FileCloser() {
+    if (f) std::fclose(f);
+  }
+};
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, const Checkpoint& c) {
+  PTIM_CHECK_MSG(c.state.phi.cols() == c.state.sigma.rows() &&
+                     c.state.sigma.rows() == c.state.sigma.cols(),
+                 "checkpoint state dimensions inconsistent");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  PTIM_CHECK_MSG(f != nullptr, "cannot open checkpoint for writing: " << path);
+  FileCloser closer{f};
+  Writer w{f};
+  w.bytes(kMagic, sizeof(kMagic));
+  w.hashing = true;  // checksum covers everything after the magic
+  w.pod<uint32_t>(kCheckpointVersion);
+  w.pod<uint64_t>(c.config_hash);
+  w.pod<uint64_t>(c.step_index);
+  w.pod<double>(c.state.time);
+  for (int d = 0; d < 3; ++d) w.pod<double>(c.avec[d]);
+  const uint64_t npw = c.state.phi.rows();
+  const uint64_t nb = c.state.phi.cols();
+  w.pod<uint64_t>(npw);
+  w.pod<uint64_t>(nb);
+  w.bytes(c.state.phi.data(), npw * nb * sizeof(cplx));
+  w.bytes(c.state.sigma.data(), nb * nb * sizeof(cplx));
+  w.hashing = false;
+  w.pod<uint64_t>(w.hash);
+  PTIM_CHECK_MSG(std::fflush(f) == 0, "checkpoint flush failed: " << path);
+}
+
+Checkpoint load_checkpoint(const std::string& path,
+                           uint64_t expected_config_hash) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  PTIM_CHECK_MSG(f != nullptr, "checkpoint file missing: " << path);
+  FileCloser closer{f};
+  Reader r{f, &path};
+  char magic[8];
+  r.bytes(magic, sizeof(magic));
+  PTIM_CHECK_MSG(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                 "not a ptim checkpoint (bad magic): " << path);
+  r.hashing = true;
+  const auto version = r.pod<uint32_t>();
+  PTIM_CHECK_MSG(version == kCheckpointVersion,
+                 "unsupported checkpoint version " << version << " (expected "
+                                                   << kCheckpointVersion
+                                                   << "): " << path);
+  Checkpoint c;
+  c.config_hash = r.pod<uint64_t>();
+  c.step_index = r.pod<uint64_t>();
+  c.state.time = r.pod<double>();
+  for (int d = 0; d < 3; ++d) c.avec[d] = r.pod<double>();
+  const auto npw = r.pod<uint64_t>();
+  const auto nb = r.pod<uint64_t>();
+  // Sanity-bound the dimensions before allocating: a corrupted size field
+  // must fail as a descriptive error, not a bad_alloc (or worse).
+  PTIM_CHECK_MSG(npw > 0 && nb > 0 && npw < (1ull << 32) && nb < (1ull << 20),
+                 "checkpoint dimensions implausible (npw=" << npw << ", nb="
+                                                           << nb
+                                                           << "): " << path);
+  c.state.phi.resize(npw, nb);
+  c.state.sigma.resize(nb, nb);
+  r.bytes(c.state.phi.data(), npw * nb * sizeof(cplx));
+  r.bytes(c.state.sigma.data(), nb * nb * sizeof(cplx));
+  r.hashing = false;
+  const uint64_t computed = r.hash;
+  const auto stored = r.pod<uint64_t>();
+  PTIM_CHECK_MSG(stored == computed,
+                 "checkpoint checksum mismatch (file corrupt): " << path);
+  PTIM_CHECK_MSG(expected_config_hash == 0 ||
+                     c.config_hash == expected_config_hash,
+                 "checkpoint was written by a different run configuration "
+                 "(stored hash "
+                     << c.config_hash << ", expected " << expected_config_hash
+                     << "): " << path);
+  return c;
+}
+
+}  // namespace ptim::io

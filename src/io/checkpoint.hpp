@@ -1,0 +1,67 @@
+#pragma once
+// Versioned binary checkpoint/restart of the full propagation state — the
+// serving-layer primitive that lets a trajectory be split at any step and
+// resumed bit-exactly (the io regression suite replays the committed golden
+// fixture across a mid-trajectory save/load for serial, band-parallel and
+// 2-D grid runs).
+//
+// File layout (native little-endian, fixed-width fields):
+//   magic     8 bytes  "PTIMCKPT"
+//   version   u32      kCheckpointVersion
+//   config    u64      RNG-free hash of the producing run configuration
+//                      (core::RunConfig::physics_hash chained with the
+//                      system dimensions); 0 = unchecked
+//   step      u64      trajectory step index of the stored state
+//   time      f64      state.time (a.u.)
+//   avec      3 x f64  Hamiltonian vector potential A(t) — carries the
+//                      laser phase / delta-kick between run segments
+//   npw, nb   u64 x 2  Phi is npw x nb, sigma nb x nb
+//   phi       npw*nb complex<f64>, column-major
+//   sigma     nb*nb  complex<f64>, column-major
+//   checksum  u64      FNV-1a over every preceding byte after the magic
+//
+// Loading validates magic, version, payload completeness and the checksum
+// and reports each failure as a descriptive ptim::Error (never UB on a
+// corrupt or old-version file). The payload is written/read as raw IEEE-754
+// doubles, so save -> load is bitwise lossless.
+
+#include <cstdint>
+#include <string>
+
+#include "grid/lattice.hpp"
+#include "td/state.hpp"
+
+namespace ptim::io {
+
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+// FNV-1a, the checkpoint family's hash for both the header checksum and the
+// RNG-free config hashes (core::RunConfig chains field bytes through it).
+inline constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+inline uint64_t fnv1a(const void* data, size_t nbytes,
+                      uint64_t h = kFnvOffset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < nbytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct Checkpoint {
+  td::TdState state;
+  uint64_t step_index = 0;   // steps completed when the state was saved
+  uint64_t config_hash = 0;  // 0 = no configuration binding
+  grid::Vec3 avec{0.0, 0.0, 0.0};
+};
+
+// Write `c` to `path` (overwrites). Throws ptim::Error on I/O failure.
+void save_checkpoint(const std::string& path, const Checkpoint& c);
+
+// Read a checkpoint back. expected_config_hash != 0 additionally demands
+// that the stored hash matches (a resume under a different RunConfig or
+// SystemSpec is a descriptive error, not a silently wrong trajectory).
+Checkpoint load_checkpoint(const std::string& path,
+                           uint64_t expected_config_hash = 0);
+
+}  // namespace ptim::io

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/error.hpp"
 #include "common/timer.hpp"
 #include "ham/density.hpp"
 #include "la/blas.hpp"
@@ -162,46 +163,10 @@ real_t PtImPropagator::build_ace_from(const la::MatC& phi, la::MatC sigma) {
   return ex;
 }
 
-PtImStepStats PtImPropagator::step(TdState& s) {
-  ScopedTimer timer("td.ptim_step");
-  PtImStepStats stats;
-  stats_ = &stats;
-
-  const real_t t_half = s.time + 0.5 * opt_.dt;
-  la::MatC phi1 = s.phi;
-  la::MatC sigma1 = s.sigma;
-
-  if (opt_.variant == PtImVariant::kAce && opt_.hybrid) {
-    // First inner SCF runs with the ACE built at t_n (Fig. 4b).
-    real_t ex_prev = build_ace_from(s.phi, s.sigma);
-    real_t res = 0.0;
-    for (int outer = 1; outer <= opt_.max_outer; ++outer) {
-      ++stats.outer_iterations;
-      stats.scf_iterations += fixed_point(s, phi1, sigma1, t_half, &res);
-      // Rebuild ACE from the converged midpoint state.
-      la::MatC phih(phi1.rows(), phi1.cols()), sigmah(sigma1.rows(),
-                                                      sigma1.cols());
-      for (size_t i = 0; i < phih.size(); ++i)
-        phih.data()[i] = 0.5 * (phi1.data()[i] + s.phi.data()[i]);
-      for (size_t i = 0; i < sigmah.size(); ++i)
-        sigmah.data()[i] = 0.5 * (sigma1.data()[i] + s.sigma.data()[i]);
-      const real_t ex = build_ace_from(phih, sigmah);
-      const real_t dex = std::abs(ex - ex_prev);
-      ex_prev = ex;
-      if (dex < opt_.tol_fock) break;
-    }
-    stats.residual = res;
-    stats.converged = res < opt_.tol;
-  } else {
-    stats.outer_iterations = 1;
-    real_t res = 0.0;
-    stats.scf_iterations = fixed_point(s, phi1, sigma1, t_half, &res);
-    stats.residual = res;
-    stats.converged = res < opt_.tol;
-  }
-
-  // Alg. 1 line 13: orthogonalize Phi, conjugate-symmetrize sigma. The
-  // congruence sigma -> L^H sigma L keeps P = Phi sigma Phi^H invariant.
+// Alg. 1 line 13: orthogonalize Phi, conjugate-symmetrize sigma. The
+// congruence sigma -> L^H sigma L keeps P = Phi sigma Phi^H invariant.
+static void orthonormalize_commit(TdState& s, la::MatC phi1, la::MatC sigma1,
+                                  real_t dt) {
   la::MatC sfinal = pw::overlap(phi1, phi1);
   const la::MatC l = la::cholesky(sfinal);
   la::solve_upper_right(l, phi1);  // Phi <- Phi L^{-H}
@@ -212,7 +177,110 @@ PtImStepStats PtImPropagator::step(TdState& s) {
 
   s.phi = std::move(phi1);
   s.sigma = std::move(sigma1);
-  s.time += opt_.dt;
+  s.time += dt;
+}
+
+void PtImPropagator::stage_ace_sources(StepSession& sess, const la::MatC& phi,
+                                       la::MatC sigma) const {
+  ScopedTimer t("ptim.ace_prepare");
+  la::hermitize(sigma);
+  const auto eig = la::eig_herm(sigma);
+  sess.ace_phi.resize(phi.rows(), phi.cols());
+  la::gemm_nn(phi, eig.V, sess.ace_phi);
+  sess.ace_occ = eig.w;
+}
+
+PtImPropagator::StepSession PtImPropagator::step_begin(const TdState& s) {
+  PTIM_CHECK_MSG(opt_.variant == PtImVariant::kAce && opt_.hybrid,
+                 "staged stepping is defined for the kAce hybrid variant");
+  StepSession sess;
+  sess.t_half = s.time + 0.5 * opt_.dt;
+  sess.phi1 = s.phi;
+  sess.sigma1 = s.sigma;
+  // First inner SCF runs with the ACE built at t_n (Fig. 4b).
+  stage_ace_sources(sess, s.phi, s.sigma);
+  return sess;
+}
+
+bool PtImPropagator::step_advance(const TdState& s, StepSession& sess,
+                                  const la::MatC& w) {
+  // Install the ACE surrogate compressed from the staged sources and their
+  // freshly applied exchange W, and estimate the Fock energy — exactly
+  // build_ace_from with the apply_diag hoisted out to the caller.
+  ham::AceOperator ace = ham::AceOperator::build(sess.ace_phi, w);
+  ++sess.stats.exchange_applications;
+  real_t ex = 0.0;
+  for (size_t b = 0; b < sess.ace_phi.cols(); ++b)
+    ex += sess.ace_occ[b] *
+          std::real(la::dotc(sess.ace_phi.rows(), sess.ace_phi.col(b),
+                             w.col(b)));
+  h_->set_ace(std::move(ace));
+
+  if (sess.outer == 0) {
+    sess.ex_prev = ex;  // the t_n build: no convergence check yet
+  } else {
+    const real_t dex = std::abs(ex - sess.ex_prev);
+    sess.ex_prev = ex;
+    if (dex < opt_.tol_fock || sess.outer >= opt_.max_outer) return false;
+  }
+
+  ++sess.stats.outer_iterations;
+  stats_ = &sess.stats;
+  sess.stats.scf_iterations +=
+      fixed_point(s, sess.phi1, sess.sigma1, sess.t_half, &sess.residual);
+  stats_ = nullptr;
+  ++sess.outer;
+
+  // Rebuild ACE from the converged midpoint state.
+  la::MatC phih(sess.phi1.rows(), sess.phi1.cols());
+  la::MatC sigmah(sess.sigma1.rows(), sess.sigma1.cols());
+  for (size_t i = 0; i < phih.size(); ++i)
+    phih.data()[i] = 0.5 * (sess.phi1.data()[i] + s.phi.data()[i]);
+  for (size_t i = 0; i < sigmah.size(); ++i)
+    sigmah.data()[i] = 0.5 * (sess.sigma1.data()[i] + s.sigma.data()[i]);
+  stage_ace_sources(sess, phih, std::move(sigmah));
+  return true;
+}
+
+PtImStepStats PtImPropagator::step_finish(TdState& s, StepSession& sess) {
+  sess.stats.residual = sess.residual;
+  sess.stats.converged = sess.residual < opt_.tol;
+  orthonormalize_commit(s, std::move(sess.phi1), std::move(sess.sigma1),
+                        opt_.dt);
+  return sess.stats;
+}
+
+PtImStepStats PtImPropagator::step(TdState& s) {
+  ScopedTimer timer("td.ptim_step");
+
+  if (opt_.variant == PtImVariant::kAce && opt_.hybrid) {
+    // The ACE double loop, driven through the staged protocol (so the
+    // golden-trajectory suite pins the same code the ensemble driver
+    // batches): each round applies exchange to the staged sources, then
+    // step_advance installs the ACE and runs the inner fixed point.
+    StepSession sess = step_begin(s);
+    la::MatC w;
+    do {
+      w.resize(sess.ace_phi.rows(), sess.ace_phi.cols());
+      h_->exchange_op().apply_diag(sess.ace_phi, sess.ace_occ, sess.ace_phi,
+                                   w, false);
+    } while (step_advance(s, sess, w));
+    return step_finish(s, sess);
+  }
+
+  PtImStepStats stats;
+  stats_ = &stats;
+  const real_t t_half = s.time + 0.5 * opt_.dt;
+  la::MatC phi1 = s.phi;
+  la::MatC sigma1 = s.sigma;
+
+  stats.outer_iterations = 1;
+  real_t res = 0.0;
+  stats.scf_iterations = fixed_point(s, phi1, sigma1, t_half, &res);
+  stats.residual = res;
+  stats.converged = res < opt_.tol;
+
+  orthonormalize_commit(s, std::move(phi1), std::move(sigma1), opt_.dt);
   stats_ = nullptr;
   return stats;
 }

@@ -79,6 +79,48 @@ class PtImPropagator {
   PtImStepStats step(TdState& s);
   const PtImOptions& options() const { return opt_; }
 
+  // --- staged stepping (kAce + hybrid only) ------------------------------
+  // The ACE double loop of step() split at its exchange applications so an
+  // external driver can batch the expensive W = (alpha Vx) Phi evaluation
+  // across several trajectories (core::EnsembleDriver packs one
+  // ExchangeOperator::DiagApplyJob per in-flight trajectory). Protocol:
+  //
+  //   auto sess = prop.step_begin(s);
+  //   do {
+  //     // W for THIS session's pending ACE sources, by any bit-identical
+  //     // route (serial step() uses apply_diag; the ensemble driver uses
+  //     //  apply_diag_packed):
+  //     xop.apply_diag(sess.ace_phi, sess.ace_occ, sess.ace_phi, w, false);
+  //   } while (prop.step_advance(s, sess, w));
+  //   stats = prop.step_finish(s, sess);
+  //
+  // step() itself runs exactly this protocol, so the golden-trajectory
+  // suite pins the staged path; a driver interleaving the advance calls of
+  // several sessions gets per-trajectory results bitwise identical to
+  // serial step() calls (each session keeps its own iteration order, and
+  // the packed exchange is bitwise per job).
+  struct StepSession {
+    real_t t_half = 0.0;
+    la::MatC phi1, sigma1;        // fixed-point iterate
+    la::MatC ace_phi;             // pending ACE build sources: rotated
+    std::vector<real_t> ace_occ;  // orbitals + eigen-occupations
+    real_t ex_prev = 0.0;         // last exchange-energy estimate
+    real_t residual = 0.0;
+    int outer = 0;                // fixed-point rounds completed
+    PtImStepStats stats;
+  };
+
+  // Initialize a session and stage the t_n ACE sources (Fig. 4b's first
+  // build). The state must not be mutated until step_finish.
+  StepSession step_begin(const TdState& s);
+  // Consume W = (alpha Vx[ace_phi, ace_occ]) ace_phi for the pending
+  // sources: install the ACE operator, run the convergence check, and —
+  // when another round is due — run the inner fixed point and stage the
+  // midpoint sources. Returns true while another W is needed.
+  bool step_advance(const TdState& s, StepSession& sess, const la::MatC& w);
+  // Orthonormalization epilogue; commits the new state and returns stats.
+  PtImStepStats step_finish(TdState& s, StepSession& sess);
+
  private:
   // Inner fixed-point loop with the currently configured exchange; updates
   // (phi1, sigma1) in place and returns iterations used.
@@ -88,6 +130,12 @@ class PtImPropagator {
   // Exact-exchange application + ACE compression from (phi, sigma);
   // returns the exchange energy estimate.
   real_t build_ace_from(const la::MatC& phi, la::MatC sigma);
+
+  // Stage ACE build sources into the session: hermitize-copy sigma,
+  // diagonalize, rotate phi into the eigenbasis (the expensive exchange
+  // application on these sources is the caller's job).
+  void stage_ace_sources(StepSession& sess, const la::MatC& phi,
+                         la::MatC sigma) const;
 
   void configure_exchange_midpoint(const la::MatC& phih, la::MatC sigmah);
 
