@@ -9,15 +9,31 @@
 // (tests/test_ensemble.cpp); this bench reports what the packing buys in
 // trajectories/hour. Writes BENCH_throughput.json.
 
+// A second section times the crash-safe campaign path (core::
+// EnsembleCampaign): the same jobs with atomic auto-checkpointing every 2
+// steps, uninterrupted versus killed mid-flight and resumed from disk —
+// the price of durability and of a restart, in the same traj/hour units.
+
+#include <unistd.h>
+
 #include <cstring>
 
 #include "bench_common.hpp"
+#include "core/campaign.hpp"
 #include "core/ensemble.hpp"
 #include "core/simulation.hpp"
+#include "io/job_queue.hpp"
 
 using namespace ptim;
 
 namespace {
+
+void remove_tree(const std::string& path) {
+  for (const std::string& name : io::list_dir(path))
+    remove_tree(path + "/" + name);
+  ::rmdir(path.c_str());
+  std::remove(path.c_str());
+}
 
 std::vector<core::EnsembleJob> make_jobs(int n) {
   std::vector<core::EnsembleJob> jobs;
@@ -96,6 +112,73 @@ int main(int argc, char** argv) {
     json.add("ensemble", shape + " width=" + label, secs);
   }
   std::printf("\n(batched widths verified bitwise identical to width=1)\n");
+
+  // --- campaign durability overhead ---------------------------------------
+  core::RunConfig ccfg = cfg;
+  ccfg.checkpoint_every = 2;
+  const auto submit_all = [&](core::EnsembleCampaign& camp) {
+    for (auto& j : make_jobs(n)) {
+      core::CampaignJob cj;
+      cj.name = j.name;
+      cj.kick = j.kick;
+      camp.submit(cj);
+    }
+  };
+
+  std::printf("\ncampaign (auto-checkpoint every 2 steps)\n");
+  std::printf("%16s %12s %10s\n", "scenario", "seconds", "vs width=1");
+  bench::rule();
+
+  // Uninterrupted: what the checkpointing itself costs.
+  const std::string dir_ref = "bench_campaign_ref";
+  remove_tree(dir_ref);
+  double campaign_secs = 0.0;
+  {
+    core::CampaignOptions opt;
+    opt.dir = dir_ref;
+    core::EnsembleCampaign camp(sim, ccfg, opt);
+    submit_all(camp);
+    Timer t;
+    camp.run();
+    campaign_secs = t.seconds();
+  }
+  std::printf("%16s %12.3f %9.2fx\n", "uninterrupted", campaign_secs,
+              campaign_secs / base_secs);
+  json.add("campaign", shape + " ckpt_every=2", campaign_secs);
+
+  // Killed after the first job's midpoint checkpoint, then resumed in a
+  // fresh campaign over the same directory: the restart overhead a real
+  // crash pays (re-scan, re-validate, replay from the last snapshot).
+  const std::string dir_kr = "bench_campaign_resume";
+  remove_tree(dir_kr);
+  double resume_secs = 0.0;
+  {
+    core::CampaignOptions opt;
+    opt.dir = dir_kr;
+    const auto kill_at = static_cast<uint64_t>(steps / 2);
+    opt.fault_hook = [kill_at](int id, uint64_t done) {
+      if (id == 0 && done == kill_at)
+        throw core::CampaignKill("bench kill");
+    };
+    core::EnsembleCampaign camp(sim, ccfg, opt);
+    submit_all(camp);
+    Timer t;
+    try {
+      camp.run();
+    } catch (const core::CampaignKill&) {
+    }
+    core::CampaignOptions resume_opt;
+    resume_opt.dir = dir_kr;
+    core::EnsembleCampaign resumed(sim, ccfg, resume_opt);
+    resumed.run();
+    resume_secs = t.seconds();
+  }
+  std::printf("%16s %12.3f %9.2fx\n", "kill+resume", resume_secs,
+              resume_secs / base_secs);
+  json.add("campaign", shape + " kill+resume", resume_secs);
+  remove_tree(dir_ref);
+  remove_tree(dir_kr);
+
   json.write();
   return 0;
 }

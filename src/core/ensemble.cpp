@@ -21,27 +21,27 @@ void EnsembleDriver::submit(EnsembleJob job) {
 }
 
 std::vector<EnsembleJobResult> EnsembleDriver::run_all(size_t batch_width) {
-  std::vector<EnsembleJob> queue = std::move(jobs_);
-  jobs_.clear();
   const size_t width =
-      batch_width == 0 ? std::max<size_t>(queue.size(), 1) : batch_width;
+      batch_width == 0 ? std::max<size_t>(jobs_.size(), 1) : batch_width;
   std::vector<EnsembleJobResult> out;
-  out.reserve(queue.size());
-  for (size_t b = 0; b < queue.size(); b += width) {
-    const size_t n = std::min(width, queue.size() - b);
-    std::vector<EnsembleJob> batch;
-    batch.reserve(n);
-    for (size_t i = 0; i < n; ++i) batch.push_back(std::move(queue[b + i]));
-    std::vector<EnsembleJobResult> part = run_batch(std::move(batch));
+  out.reserve(jobs_.size());
+  // Drain per batch: jobs leave the queue only AFTER their batch finished.
+  // (The old implementation moved the whole queue out up front, so an
+  // exception mid-campaign destroyed every unrun job with no way to
+  // retry.) On a throw, the failing batch and everything behind it stay
+  // submitted — pending() reports them and a later run_all retries them.
+  while (!jobs_.empty()) {
+    const size_t n = std::min(width, jobs_.size());
+    std::vector<EnsembleJobResult> part = run_batch(jobs_.data(), n);
+    jobs_.erase(jobs_.begin(), jobs_.begin() + static_cast<ptrdiff_t>(n));
     for (auto& r : part) out.push_back(std::move(r));
   }
   return out;
 }
 
 std::vector<EnsembleJobResult> EnsembleDriver::run_batch(
-    std::vector<EnsembleJob> batch) {
+    const EnsembleJob* batch, size_t n) {
   ScopedTimer timer("ensemble.batch");
-  const size_t n = batch.size();
   // Grow the slot pool on demand; later batches reuse the constructed
   // Hamiltonians (and, through the shared grids, the same FFT plans).
   while (pool_.size() < n) pool_.push_back(sim_->make_rank_hamiltonian());

@@ -66,11 +66,15 @@ class EnsembleDriver {
 
   // Propagate every submitted job, batch_width trajectories in lockstep
   // per batch (0 = all pending jobs in one batch; 1 = the one-at-a-time
-  // baseline bench_throughput compares against). Consumes the queue.
+  // baseline bench_throughput compares against). Drains the queue one
+  // batch at a time: a job is removed only after its batch completed, so
+  // an exception mid-campaign leaves the failing batch and every unrun
+  // job submitted (pending() reports them; a later run_all retries them).
   std::vector<EnsembleJobResult> run_all(size_t batch_width = 0);
 
  private:
-  std::vector<EnsembleJobResult> run_batch(std::vector<EnsembleJob> batch);
+  std::vector<EnsembleJobResult> run_batch(const EnsembleJob* batch,
+                                           size_t n);
 
   Simulation* sim_;
   RunConfig cfg_;

@@ -79,6 +79,18 @@ const RunningStats& MeasurementSet::stats(const std::string& name) const {
   return find(name).stats;
 }
 
+void MeasurementSet::restore_series(const std::string& name,
+                                    const std::vector<real_t>& values) {
+  for (auto& e : entries_) {
+    if (e.name != name) continue;
+    e.series = values;
+    e.stats = RunningStats{};  // Welford replay: bitwise = live recording
+    for (const real_t x : values) e.stats.add(x);
+    return;
+  }
+  PTIM_CHECK_MSG(false, "no such measurement: " << name);
+}
+
 std::vector<real_t> MeasurementSet::binned(const std::string& name,
                                            size_t nbins) const {
   PTIM_CHECK_MSG(nbins > 0, "binned: nbins must be positive");

@@ -71,6 +71,13 @@ class MeasurementSet {
   const std::vector<real_t>& series(const std::string& name) const;
   const RunningStats& stats(const std::string& name) const;
 
+  // Overwrite one probe's accumulated series with previously recorded
+  // samples (checkpoint resume): the running statistics are replayed from
+  // the values in order, so a restored set is bitwise identical to one
+  // that recorded the same samples live. The probe must be registered.
+  void restore_series(const std::string& name,
+                      const std::vector<real_t>& values);
+
   // The series rebinned into `nbins` contiguous chunks (mean per chunk);
   // trailing samples that do not fill a chunk go into the last bin.
   std::vector<real_t> binned(const std::string& name, size_t nbins) const;

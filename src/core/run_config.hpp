@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "dist/band_ham.hpp"
 #include "dist/layout.hpp"
@@ -59,6 +60,17 @@ struct RunConfig {
   dist::ProcessGrid process_grid{};  // pb band rows x pg grid columns
   dist::ExchangePattern pattern = dist::ExchangePattern::kAsyncRing;
   bool overlap_shm = false;
+
+  // --- durability (auto-checkpointing) ------------------------------------
+  // checkpoint_every > 0 makes Simulation::run save an io::Checkpoint of
+  // the committed state every K steps (and at the final step) into
+  // checkpoint_dir, as `ckpt_<step>.ckpt`. Saves are atomic (tmp + rename),
+  // so a kill at any instant leaves only complete files. Hash-neutral:
+  // where/how often snapshots land never changes the trajectory, so old
+  // checkpoints stay resumable when these knobs move (same policy as the
+  // layout knobs above).
+  int checkpoint_every = 0;    // 0 = no auto-checkpointing
+  std::string checkpoint_dir;  // must exist when checkpoint_every > 0
 
   // Resolve the envelope horizon for a run starting at t_start.
   real_t horizon(real_t t_start) const {

@@ -93,6 +93,8 @@ Simulation::RunResult Simulation::run(const RunConfig& cfg,
                                       const td::TdState* start,
                                       uint64_t start_step) {
   PTIM_CHECK_MSG(cfg.nranks >= 1 && cfg.steps >= 0, "RunConfig: bad options");
+  PTIM_CHECK_MSG(cfg.checkpoint_every <= 0 || !cfg.checkpoint_dir.empty(),
+                 "RunConfig: checkpoint_every set without a checkpoint_dir");
   const td::TdState initial = start ? *start : initial_state();
   resolve_laser(cfg.horizon(initial.time));
   if (cfg.exchange_batch) set_exchange_batch(*cfg.exchange_batch);
@@ -101,9 +103,34 @@ Simulation::RunResult Simulation::run(const RunConfig& cfg,
   result.measurements = std::move(measurements);
   result.steps.resize(static_cast<size_t>(cfg.steps));
 
+  // Auto-checkpoint cadence: every K committed steps and at the last one,
+  // named by ABSOLUTE step index so a resumed segment's snapshots line up
+  // with the uninterrupted run's.
+  const auto ckpt_due = [&cfg](uint64_t done, int step) {
+    return cfg.checkpoint_every > 0 &&
+           (done % static_cast<uint64_t>(cfg.checkpoint_every) == 0 ||
+            step + 1 == cfg.steps);
+  };
+  const auto ckpt_path = [&cfg](uint64_t done) {
+    return cfg.checkpoint_dir + "/ckpt_" + std::to_string(done) + ".ckpt";
+  };
+
   if (cfg.nranks == 1) {
     td::TdState s = initial;
     td::PtImPropagator prop(*h_, cfg.ptim(), laser_.get());
+    if (cfg.checkpoint_every > 0) {
+      // Post-commit hook of the staged step protocol: the state it sees is
+      // exactly what a resume restores, so saving here is bitwise-safe.
+      uint64_t done = start_step;
+      int step = 0;
+      prop.set_step_hook([this, &cfg, &ckpt_due, &ckpt_path, done, step](
+                             const td::TdState& hs,
+                             const td::PtImStepStats&) mutable {
+        ++done;
+        if (ckpt_due(done, step++))
+          io::save_checkpoint(ckpt_path(done), checkpoint(cfg, hs, done));
+      });
+    }
     std::vector<real_t> rho;
     for (int step = 0; step < cfg.steps; ++step) {
       result.steps[static_cast<size_t>(step)] = prop.step(s);
@@ -130,6 +157,9 @@ Simulation::RunResult Simulation::run(const RunConfig& cfg,
   // Probes that read Phi force a full gather every step; the cheap rho/
   // sigma probes cost no extra communication.
   const bool want_phi = result.measurements.needs_phi();
+  // Hash once on the launcher thread; the rank lambdas only read it.
+  const uint64_t cfg_hash =
+      cfg.checkpoint_every > 0 ? config_hash(cfg) : 0;
 
   ptmpi::run_ranks(cfg.nranks, cfg.ranks_per_node, [&](ptmpi::Comm& c) {
     // Per-rank Hamiltonian over the shared read-only grids/atoms; carries
@@ -159,6 +189,23 @@ Simulation::RunResult Simulation::run(const RunConfig& cfg,
         ctx.step = static_cast<int>(start_step) + step;
         result.measurements.record(ctx);
       }
+      const uint64_t done = start_step + static_cast<uint64_t>(step) + 1;
+      if (ckpt_due(done, step)) {
+        // gather_state is collective over the band communicator (each grid
+        // column gathers redundantly); world rank 0 persists the snapshot.
+        // The vector potential comes from the PER-RANK Hamiltonian — the
+        // one the distributed propagator actually advances.
+        const td::TdState snap =
+            want_phi ? full : td::gather_state(bdh.comm(), s, bands);
+        if (c.rank() == 0) {
+          io::Checkpoint ck;
+          ck.state = snap;
+          ck.step_index = done;
+          ck.config_hash = cfg_hash;
+          ck.avec = h->vector_potential();
+          io::save_checkpoint(ckpt_path(done), ck);
+        }
+      }
     }
     // Gather over the band communicator (grid column 0 contains world rank
     // 0, which holds the full state for the caller).
@@ -170,7 +217,7 @@ Simulation::RunResult Simulation::run(const RunConfig& cfg,
 }
 
 Simulation::DistRunResult Simulation::propagate_distributed(
-    const DistRunOptions& opt) {
+    const DistRunOptions& opt, MeasurementSet measurements) {
   PTIM_CHECK_MSG(opt.nranks >= 1 && opt.steps >= 0,
                  "propagate_distributed: bad run options");
   // Thin deprecated wrapper: a 1:1 conversion into RunConfig + run() with a
@@ -196,13 +243,19 @@ Simulation::DistRunResult Simulation::propagate_distributed(
   cfg.pattern = opt.band.pattern;
   cfg.overlap_shm = opt.band.overlap_shm;
 
-  MeasurementSet m;
-  m.add("dipole_x", dipole_probe({1.0, 0.0, 0.0}));
-  RunResult r = run(cfg, std::move(m));
+  // Legacy call shape (no measurements): sample the default dipole probe.
+  // A caller-supplied set is sampled as-is.
+  if (measurements.empty())
+    measurements.add("dipole_x", dipole_probe({1.0, 0.0, 0.0}));
+  RunResult r = run(cfg, std::move(measurements));
 
   DistRunResult result;
   result.final_state = std::move(r.final_state);
-  result.dipole = r.measurements.series("dipole_x");
+  // Custom MeasurementSets need not include "dipole_x": fall back to an
+  // empty series instead of throwing "no such measurement".
+  if (r.measurements.has("dipole_x"))
+    result.dipole = r.measurements.series("dipole_x");
+  result.measurements = std::move(r.measurements);
   result.steps = std::move(r.steps);
   result.comm = std::move(r.comm);
   return result;

@@ -164,7 +164,12 @@ class Simulation {
   };
   struct DistRunResult {
     td::TdState final_state;                // gathered full state
-    std::vector<real_t> dipole;             // dipole_x after each step
+    // dipole_x after each step when that probe was sampled; EMPTY when the
+    // caller supplied a custom MeasurementSet without "dipole_x" (read
+    // `measurements` instead — the old unconditional series() lookup threw
+    // "no such measurement" for such callers).
+    std::vector<real_t> dipole;
+    MeasurementSet measurements;            // all sampled series
     std::vector<td::PtImStepStats> steps;   // per-step solver statistics
     std::vector<ptmpi::CommStats> comm;     // per-rank measured comm table
   };
@@ -172,7 +177,10 @@ class Simulation {
   // run `steps` PT-IM steps through dist::BandDistributedHamiltonian +
   // td::DistPtImPropagator, and gather the trajectory. Produces the same
   // trajectory as the serial make_ptim path (regression-tested to 1e-10).
-  DistRunResult propagate_distributed(const DistRunOptions& opt);
+  // An empty `measurements` (the legacy call shape) samples the default
+  // dipole_x probe; a caller-supplied set is sampled as-is.
+  DistRunResult propagate_distributed(const DistRunOptions& opt,
+                                      MeasurementSet measurements = {});
 
   // --- observables ------------------------------------------------------
   std::vector<real_t> density(const td::TdState& s) const;

@@ -1,5 +1,7 @@
 #include "io/checkpoint.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <vector>
@@ -48,12 +50,29 @@ struct Reader {
   }
 };
 
+// RAII close for the error/unwind paths only. The SUCCESS path must close
+// through close_checked(): fclose flushes the stdio buffer a final time,
+// and an error there (full disk, NFS write-back) means the bytes never
+// landed — silently ignoring it would publish a truncated checkpoint.
 struct FileCloser {
   std::FILE* f;
   ~FileCloser() {
-    if (f) std::fclose(f);
+    if (f) std::fclose(f);  // already unwinding: nothing useful to report
+  }
+  void close_checked(const std::string& path) {
+    std::FILE* h = f;
+    f = nullptr;  // never double-close, even if the check below throws
+    PTIM_CHECK_MSG(std::fclose(h) == 0,
+                   "checkpoint close failed (I/O error flushing final "
+                   "buffers — disk full?): "
+                       << path);
   }
 };
+
+uint32_t byteswap32(uint32_t v) {
+  return ((v & 0xff000000u) >> 24) | ((v & 0x00ff0000u) >> 8) |
+         ((v & 0x0000ff00u) << 8) | ((v & 0x000000ffu) << 24);
+}
 
 }  // namespace
 
@@ -61,26 +80,51 @@ void save_checkpoint(const std::string& path, const Checkpoint& c) {
   PTIM_CHECK_MSG(c.state.phi.cols() == c.state.sigma.rows() &&
                      c.state.sigma.rows() == c.state.sigma.cols(),
                  "checkpoint state dimensions inconsistent");
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  PTIM_CHECK_MSG(f != nullptr, "cannot open checkpoint for writing: " << path);
-  FileCloser closer{f};
-  Writer w{f};
-  w.bytes(kMagic, sizeof(kMagic));
-  w.hashing = true;  // checksum covers everything after the magic
-  w.pod<uint32_t>(kCheckpointVersion);
-  w.pod<uint64_t>(c.config_hash);
-  w.pod<uint64_t>(c.step_index);
-  w.pod<double>(c.state.time);
-  for (int d = 0; d < 3; ++d) w.pod<double>(c.avec[d]);
-  const uint64_t npw = c.state.phi.rows();
-  const uint64_t nb = c.state.phi.cols();
-  w.pod<uint64_t>(npw);
-  w.pod<uint64_t>(nb);
-  w.bytes(c.state.phi.data(), npw * nb * sizeof(cplx));
-  w.bytes(c.state.sigma.data(), nb * nb * sizeof(cplx));
-  w.hashing = false;
-  w.pod<uint64_t>(w.hash);
-  PTIM_CHECK_MSG(std::fflush(f) == 0, "checkpoint flush failed: " << path);
+  // Stage into a sibling temp file and rename over the target only once
+  // every byte (and the final flush/fsync/close) succeeded: rename(2) on
+  // the same filesystem is atomic, so `path` always holds a COMPLETE
+  // checkpoint — the old one until the instant the new one is ready.
+  const std::string tmp = path + ".tmp";
+  try {
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    PTIM_CHECK_MSG(f != nullptr,
+                   "cannot open checkpoint for writing: " << tmp);
+    FileCloser closer{f};
+    Writer w{f};
+    w.bytes(kMagic, sizeof(kMagic));
+    w.hashing = true;  // checksum covers everything after the magic
+    w.pod<uint32_t>(kCheckpointVersion);
+    w.pod<uint32_t>(kEndianSentinel);
+    w.pod<uint64_t>(c.config_hash);
+    w.pod<uint64_t>(c.step_index);
+    w.pod<double>(c.state.time);
+    for (int d = 0; d < 3; ++d) w.pod<double>(c.avec[d]);
+    const uint64_t npw = c.state.phi.rows();
+    const uint64_t nb = c.state.phi.cols();
+    w.pod<uint64_t>(npw);
+    w.pod<uint64_t>(nb);
+    w.bytes(c.state.phi.data(), npw * nb * sizeof(cplx));
+    w.bytes(c.state.sigma.data(), nb * nb * sizeof(cplx));
+    const uint64_t meta_len = c.campaign_meta.size();
+    w.pod<uint64_t>(meta_len);
+    if (meta_len > 0) w.bytes(c.campaign_meta.data(), meta_len);
+    w.hashing = false;
+    w.pod<uint64_t>(w.hash);
+    PTIM_CHECK_MSG(std::fflush(f) == 0, "checkpoint flush failed: " << tmp);
+    // Push the bytes to stable storage BEFORE the rename publishes the
+    // file, so a power loss cannot commit a name pointing at lost data.
+    PTIM_CHECK_MSG(::fsync(::fileno(f)) == 0,
+                   "checkpoint fsync failed: " << tmp);
+    closer.close_checked(tmp);
+  } catch (...) {
+    std::remove(tmp.c_str());  // never leave partial staging files behind
+    throw;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    PTIM_CHECK_MSG(false, "checkpoint rename failed: " << tmp << " -> "
+                                                       << path);
+  }
 }
 
 Checkpoint load_checkpoint(const std::string& path,
@@ -95,10 +139,28 @@ Checkpoint load_checkpoint(const std::string& path,
                  "not a ptim checkpoint (bad magic): " << path);
   r.hashing = true;
   const auto version = r.pod<uint32_t>();
-  PTIM_CHECK_MSG(version == kCheckpointVersion,
+  // A big-endian writer stores the version with swapped bytes; diagnose
+  // that up front instead of failing later at the checksum with a
+  // misleading "corrupt" message.
+  PTIM_CHECK_MSG(byteswap32(version) != kCheckpointVersion &&
+                     byteswap32(version) != 1u,
+                 "checkpoint was written on an opposite-endianness machine "
+                 "(byte-swapped version field): "
+                     << path);
+  PTIM_CHECK_MSG(version == kCheckpointVersion || version == 1,
                  "unsupported checkpoint version " << version << " (expected "
                                                    << kCheckpointVersion
                                                    << "): " << path);
+  if (version >= 2) {
+    const auto sentinel = r.pod<uint32_t>();
+    PTIM_CHECK_MSG(sentinel != kEndianSentinelSwapped,
+                   "checkpoint was written on an opposite-endianness "
+                   "machine (sentinel 0x04030201): "
+                       << path);
+    PTIM_CHECK_MSG(sentinel == kEndianSentinel,
+                   "checkpoint header corrupt (bad endianness sentinel): "
+                       << path);
+  }
   Checkpoint c;
   c.config_hash = r.pod<uint64_t>();
   c.step_index = r.pod<uint64_t>();
@@ -116,11 +178,26 @@ Checkpoint load_checkpoint(const std::string& path,
   c.state.sigma.resize(nb, nb);
   r.bytes(c.state.phi.data(), npw * nb * sizeof(cplx));
   r.bytes(c.state.sigma.data(), nb * nb * sizeof(cplx));
+  if (version >= 2) {
+    const auto meta_len = r.pod<uint64_t>();
+    PTIM_CHECK_MSG(meta_len < (1ull << 30),
+                   "checkpoint metadata length implausible (" << meta_len
+                                                              << "): "
+                                                              << path);
+    c.campaign_meta.resize(meta_len);
+    if (meta_len > 0) r.bytes(c.campaign_meta.data(), meta_len);
+  }
   r.hashing = false;
   const uint64_t computed = r.hash;
   const auto stored = r.pod<uint64_t>();
   PTIM_CHECK_MSG(stored == computed,
                  "checkpoint checksum mismatch (file corrupt): " << path);
+  // The checksum is the LAST field: anything after it was never covered by
+  // it, so a file with trailing bytes is not the file the writer produced
+  // (concatenated segments, a torn copy, tampering) — reject it.
+  PTIM_CHECK_MSG(std::fgetc(f) == EOF,
+                 "checkpoint has trailing bytes after the checksum: "
+                     << path);
   PTIM_CHECK_MSG(expected_config_hash == 0 ||
                      c.config_hash == expected_config_hash,
                  "checkpoint was written by a different run configuration "

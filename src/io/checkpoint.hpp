@@ -3,11 +3,19 @@
 // serving-layer primitive that lets a trajectory be split at any step and
 // resumed bit-exactly (the io regression suite replays the committed golden
 // fixture across a mid-trajectory save/load for serial, band-parallel and
-// 2-D grid runs).
+// 2-D grid runs), and the durability primitive ensemble campaigns lean on:
+// saves are crash-safe (written to `<path>.tmp`, fsynced, then atomically
+// renamed over the target), so a kill at ANY instant leaves either the old
+// complete file or the new complete file at `path` — never a torn one.
 //
-// File layout (native little-endian, fixed-width fields):
+// File layout, format v2 (fixed-width fields):
 //   magic     8 bytes  "PTIMCKPT"
-//   version   u32      kCheckpointVersion
+//   version   u32      kCheckpointVersion (2)
+//   endian    u32      kEndianSentinel = 0x01020304, written in the
+//                      producer's native byte order; a consumer on the
+//                      opposite endianness reads 0x04030201 and fails with
+//                      a byte-order diagnostic instead of a misleading
+//                      checksum error deep in the payload
 //   config    u64      RNG-free hash of the producing run configuration
 //                      (core::RunConfig::physics_hash chained with the
 //                      system dimensions); 0 = unchecked
@@ -18,22 +26,39 @@
 //   npw, nb   u64 x 2  Phi is npw x nb, sigma nb x nb
 //   phi       npw*nb complex<f64>, column-major
 //   sigma     nb*nb  complex<f64>, column-major
+//   meta_len  u64      campaign metadata blob length (0 = none)
+//   meta      meta_len opaque bytes — reserved for the campaign layer
+//                      (core::EnsembleCampaign stores the job's measurement
+//                      series + horizon anchor here, so one atomic file
+//                      carries everything a resume needs)
 //   checksum  u64      FNV-1a over every preceding byte after the magic
+//   (EOF — any trailing bytes after the checksum are rejected)
 //
-// Loading validates magic, version, payload completeness and the checksum
-// and reports each failure as a descriptive ptim::Error (never UB on a
-// corrupt or old-version file). The payload is written/read as raw IEEE-754
-// doubles, so save -> load is bitwise lossless.
+// Format v1 (no endian sentinel, no metadata block) is still READ for
+// migration; see the README's checkpoint-format notes. New files are
+// always written as v2.
+//
+// Loading validates magic, version, byte order, payload completeness, the
+// checksum and exact file length, and reports each failure as a descriptive
+// ptim::Error (never UB on a corrupt or old-version file). The payload is
+// written/read as raw IEEE-754 doubles, so save -> load is bitwise
+// lossless.
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "grid/lattice.hpp"
 #include "td/state.hpp"
 
 namespace ptim::io {
 
-inline constexpr uint32_t kCheckpointVersion = 1;
+inline constexpr uint32_t kCheckpointVersion = 2;
+// Byte-order sentinel stored in every v2 header. On an opposite-endianness
+// reader the bytes deserialize to 0x04030201, which load_checkpoint turns
+// into an explicit byte-order error.
+inline constexpr uint32_t kEndianSentinel = 0x01020304u;
+inline constexpr uint32_t kEndianSentinelSwapped = 0x04030201u;
 
 // FNV-1a, the checkpoint family's hash for both the header checksum and the
 // RNG-free config hashes (core::RunConfig chains field bytes through it).
@@ -53,14 +78,24 @@ struct Checkpoint {
   uint64_t step_index = 0;   // steps completed when the state was saved
   uint64_t config_hash = 0;  // 0 = no configuration binding
   grid::Vec3 avec{0.0, 0.0, 0.0};
+  // Opaque campaign metadata, checksummed with the rest of the file. Empty
+  // for plain Simulation-level checkpoints; core::EnsembleCampaign stores
+  // the per-job measurement series + horizon anchor here.
+  std::vector<uint8_t> campaign_meta;
 };
 
-// Write `c` to `path` (overwrites). Throws ptim::Error on I/O failure.
+// Write `c` to `path` (overwrites). Crash-safe: the bytes land in
+// `<path>.tmp` first and are renamed over `path` only after the checksum,
+// flush, fsync and close ALL succeeded — so a crash or close-time I/O error
+// (full disk, NFS) can never leave a torn file where resume looks for a
+// good one. Throws ptim::Error on any failure (the partial .tmp is
+// removed).
 void save_checkpoint(const std::string& path, const Checkpoint& c);
 
-// Read a checkpoint back. expected_config_hash != 0 additionally demands
-// that the stored hash matches (a resume under a different RunConfig or
-// SystemSpec is a descriptive error, not a silently wrong trajectory).
+// Read a checkpoint back (format v2, plus v1 for migration). expected_config_hash != 0
+// additionally demands that the stored hash matches (a resume under a
+// different RunConfig or SystemSpec is a descriptive error, not a silently
+// wrong trajectory).
 Checkpoint load_checkpoint(const std::string& path,
                            uint64_t expected_config_hash = 0);
 

@@ -1,0 +1,297 @@
+#include "io/job_queue.hpp"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ptim::io {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);  // exact IEEE-754 roundtrip
+  return buf;
+}
+
+// Split one record line into (key, rest-of-line).
+bool split_line(const std::string& line, std::string* key,
+                std::string* value) {
+  const size_t sp = line.find(' ');
+  if (line.empty()) return false;
+  if (sp == std::string::npos) {
+    *key = line;
+    value->clear();
+  } else {
+    *key = line.substr(0, sp);
+    *value = line.substr(sp + 1);
+  }
+  return true;
+}
+
+double parse_double(const std::string& s, const std::string& path) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  PTIM_CHECK_MSG(end != s.c_str(), "job record: bad number '" << s << "' in "
+                                                              << path);
+  return v;
+}
+
+}  // namespace
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kPending: return "pending";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+JobState parse_state(const std::string& s, const std::string& path) {
+  if (s == "pending") return JobState::kPending;
+  if (s == "running") return JobState::kRunning;
+  if (s == "done") return JobState::kDone;
+  if (s == "failed") return JobState::kFailed;
+  PTIM_CHECK_MSG(false, "job record: unknown state '" << s << "' in "
+                                                      << path);
+  std::abort();  // unreachable: PTIM_CHECK_MSG throws
+}
+
+std::string serialize_spec(const JobSpec& s) {
+  PTIM_CHECK_MSG(s.name.find('\n') == std::string::npos,
+                 "job name must be a single line: " << s.name);
+  std::ostringstream out;
+  out << "name " << s.name << "\n";
+  out << "steps " << s.steps << "\n";
+  out << "t_horizon " << fmt_double(s.t_horizon) << "\n";
+  out << "kick " << fmt_double(s.kick[0]) << " " << fmt_double(s.kick[1])
+      << " " << fmt_double(s.kick[2]) << "\n";
+  out << "laser " << (s.has_laser ? 1 : 0);
+  if (s.has_laser) {
+    out << " " << fmt_double(s.laser.e0) << " "
+        << fmt_double(s.laser.wavelength_nm) << " "
+        << fmt_double(s.laser.t_center) << " " << fmt_double(s.laser.t_width)
+        << " " << fmt_double(s.laser.polarization[0]) << " "
+        << fmt_double(s.laser.polarization[1]) << " "
+        << fmt_double(s.laser.polarization[2]);
+  }
+  out << "\n";
+  out << "config_hash " << s.config_hash << "\n";
+  return out.str();
+}
+
+JobSpec parse_spec(const std::string& path) {
+  std::ifstream in(path);
+  PTIM_CHECK_MSG(in.good(), "job spec missing: " << path);
+  JobSpec s;
+  std::string line, key, value;
+  while (std::getline(in, line)) {
+    if (!split_line(line, &key, &value)) continue;
+    if (key == "name") {
+      s.name = value;
+    } else if (key == "steps") {
+      s.steps = static_cast<int>(parse_double(value, path));
+    } else if (key == "t_horizon") {
+      s.t_horizon = parse_double(value, path);
+    } else if (key == "kick") {
+      std::istringstream v(value);
+      std::string a, b, c;
+      v >> a >> b >> c;
+      s.kick = {parse_double(a, path), parse_double(b, path),
+                parse_double(c, path)};
+    } else if (key == "laser") {
+      std::istringstream v(value);
+      int has = 0;
+      v >> has;
+      s.has_laser = has != 0;
+      if (s.has_laser) {
+        std::string f[7];
+        for (auto& x : f) v >> x;
+        s.laser.e0 = parse_double(f[0], path);
+        s.laser.wavelength_nm = parse_double(f[1], path);
+        s.laser.t_center = parse_double(f[2], path);
+        s.laser.t_width = parse_double(f[3], path);
+        s.laser.polarization = {parse_double(f[4], path),
+                                parse_double(f[5], path),
+                                parse_double(f[6], path)};
+      }
+    } else if (key == "config_hash") {
+      s.config_hash = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      PTIM_CHECK_MSG(false, "job spec: unknown key '" << key << "' in "
+                                                      << path);
+    }
+  }
+  return s;
+}
+
+std::string serialize_status(const JobStatus& st) {
+  PTIM_CHECK_MSG(st.error.find('\n') == std::string::npos,
+                 "job error message must be a single line");
+  std::ostringstream out;
+  out << "state " << job_state_name(st.state) << "\n";
+  out << "steps_done " << st.steps_done << "\n";
+  if (!st.error.empty()) out << "error " << st.error << "\n";
+  return out.str();
+}
+
+JobStatus parse_status(const std::string& path) {
+  std::ifstream in(path);
+  PTIM_CHECK_MSG(in.good(), "job status missing: " << path);
+  JobStatus st;
+  std::string line, key, value;
+  while (std::getline(in, line)) {
+    if (!split_line(line, &key, &value)) continue;
+    if (key == "state") {
+      st.state = parse_state(value, path);
+    } else if (key == "steps_done") {
+      st.steps_done = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "error") {
+      st.error = value;
+    } else {
+      PTIM_CHECK_MSG(false, "job status: unknown key '" << key << "' in "
+                                                        << path);
+    }
+  }
+  return st;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- helpers --
+
+void atomic_write_text(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  try {
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    PTIM_CHECK_MSG(f != nullptr, "cannot open record for writing: " << tmp);
+    bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    ok = ok && std::fflush(f) == 0;
+    ok = ok && ::fsync(::fileno(f)) == 0;
+    const bool closed = std::fclose(f) == 0;
+    PTIM_CHECK_MSG(ok && closed, "record write failed: " << tmp);
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    PTIM_CHECK_MSG(false, "record rename failed: " << tmp << " -> " << path);
+  }
+}
+
+void make_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST) return;
+  PTIM_CHECK_MSG(false, "cannot create directory: " << path << " ("
+                                                    << std::strerror(errno)
+                                                    << ")");
+}
+
+std::vector<std::string> list_dir(const std::string& path) {
+  std::vector<std::string> out;
+  DIR* d = ::opendir(path.c_str());
+  if (!d) return out;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name != "." && name != "..") out.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+// ------------------------------------------------------------ JobQueue --
+
+JobQueue::JobQueue(std::string dir) : dir_(std::move(dir)) {
+  PTIM_CHECK_MSG(!dir_.empty(), "JobQueue: empty directory");
+  make_dir(dir_);
+  reload();
+}
+
+void JobQueue::reload() {
+  records_.clear();
+  std::vector<int> ids;
+  for (const std::string& name : list_dir(dir_)) {
+    // job_<id>.spec identifies a record; the id is the digits between.
+    if (name.rfind("job_", 0) != 0) continue;
+    const size_t dot = name.rfind(".spec");
+    if (dot == std::string::npos || dot + 5 != name.size()) continue;
+    const std::string digits = name.substr(4, dot - 4);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    ids.push_back(std::atoi(digits.c_str()));
+  }
+  std::sort(ids.begin(), ids.end());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const int id = ids[i];
+    PTIM_CHECK_MSG(id == static_cast<int>(i),
+                   "job queue corrupt: non-contiguous job ids in " << dir_);
+    JobRecord r;
+    r.id = id;
+    r.spec = parse_spec(spec_path(id));
+    // A spec without a status file is a submit torn between the two
+    // writes — treat as freshly pending (the spec write lands first).
+    r.status = file_exists(status_path(id)) ? parse_status(status_path(id))
+                                            : JobStatus{};
+    records_.push_back(std::move(r));
+  }
+}
+
+int JobQueue::submit(const JobSpec& spec) {
+  const int id = static_cast<int>(records_.size());
+  JobRecord r;
+  r.id = id;
+  r.spec = spec;
+  // Spec first, then status: reload() treats a lone spec as pending, so a
+  // kill between the two writes still yields a runnable record.
+  atomic_write_text(spec_path(id), serialize_spec(spec));
+  atomic_write_text(status_path(id), serialize_status(r.status));
+  make_dir(job_dir(id));
+  records_.push_back(std::move(r));
+  return id;
+}
+
+void JobQueue::update_status(int id, const JobStatus& status) {
+  atomic_write_text(status_path(id), serialize_status(status));
+  records_[static_cast<size_t>(id)].status = status;
+}
+
+const JobRecord& JobQueue::record(int id) const {
+  PTIM_CHECK_MSG(id >= 0 && static_cast<size_t>(id) < records_.size(),
+                 "no such job id: " << id);
+  return records_[static_cast<size_t>(id)];
+}
+
+std::string JobQueue::job_dir(int id) const {
+  return dir_ + "/job_" + std::to_string(id);
+}
+
+std::string JobQueue::spec_path(int id) const {
+  return dir_ + "/job_" + std::to_string(id) + ".spec";
+}
+
+std::string JobQueue::status_path(int id) const {
+  return dir_ + "/job_" + std::to_string(id) + ".status";
+}
+
+}  // namespace ptim::io

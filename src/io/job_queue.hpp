@@ -1,0 +1,109 @@
+#pragma once
+// Persistent on-disk job queue — the durability substrate of ensemble
+// campaigns (core::EnsembleCampaign). Every queue mutation is crash-safe:
+// records are text files rewritten through the same tmp + rename protocol
+// as binary checkpoints, so a process kill at any instant leaves every
+// record either in its old complete form or its new complete form.
+//
+// On-disk layout (all under one campaign directory):
+//   <dir>/job_<id>.spec    immutable job spec, written once at submit
+//   <dir>/job_<id>.status  mutable status record, atomically rewritten
+//   <dir>/job_<id>/        per-job checkpoint directory
+//                          (ckpt_<step>.ckpt, io::Checkpoint format v2)
+//
+// Record files are line-oriented `key value...` text; floating-point
+// fields are printed with %.17g, which round-trips IEEE-754 doubles
+// exactly — the queue never perturbs a trajectory-determining number.
+//
+// Thread-safety contract: submit() and reload() are single-threaded
+// (campaign setup); update_status() may be called concurrently for
+// DIFFERENT job ids (each worker group leader owns exactly one job's
+// status at a time), never for the same id.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grid/lattice.hpp"
+#include "td/laser.hpp"
+
+namespace ptim::io {
+
+enum class JobState { kPending, kRunning, kDone, kFailed };
+
+const char* job_state_name(JobState s);
+
+// Everything needed to (re)launch a job EXCEPT its quantum state — the
+// state lives in the job's checkpoint chain (ckpt_0 is written at submit,
+// so a freshly restarted process can resume any job from disk alone).
+struct JobSpec {
+  std::string name;          // no newlines; shown in poll() output
+  int steps = 0;             // total trajectory steps
+  double t_horizon = 0.0;    // resolved laser-envelope horizon (a.u.)
+  grid::Vec3 kick{0.0, 0.0, 0.0};  // delta-kick A(0) (also in ckpt_0)
+  bool has_laser = false;
+  td::LaserParams laser;
+  uint64_t config_hash = 0;  // binds the job's checkpoints to its physics
+};
+
+struct JobStatus {
+  JobState state = JobState::kPending;
+  uint64_t steps_done = 0;  // last status-file update (checkpoints are the
+                            // authoritative resume point)
+  std::string error;        // kFailed diagnostic (single line)
+};
+
+struct JobRecord {
+  int id = -1;
+  JobSpec spec;
+  JobStatus status;
+};
+
+class JobQueue {
+ public:
+  // Open (creating the directory if needed) and load every record found
+  // on disk — the restart path: a queue reopened after a kill sees all
+  // previously submitted jobs with their last persisted status.
+  explicit JobQueue(std::string dir);
+
+  // Persist a new record (spec + pending status); returns its id.
+  int submit(const JobSpec& spec);
+
+  // Atomically rewrite job `id`'s status file (and the in-memory record).
+  void update_status(int id, const JobStatus& status);
+
+  // Re-read every record from disk (e.g. to observe another process).
+  void reload();
+
+  size_t size() const { return records_.size(); }
+  const std::vector<JobRecord>& records() const { return records_; }
+  const JobRecord& record(int id) const;
+
+  const std::string& dir() const { return dir_; }
+  // The job's checkpoint directory <dir>/job_<id> (created on demand).
+  std::string job_dir(int id) const;
+
+ private:
+  std::string spec_path(int id) const;
+  std::string status_path(int id) const;
+
+  std::string dir_;
+  std::vector<JobRecord> records_;  // sorted by id; ids are dense from 0
+};
+
+// --- crash-safe text + small POSIX fs helpers (shared with campaign) ----
+
+// Write `text` to `path` via `<path>.tmp` + fsync + rename: readers never
+// observe a partial file. Throws ptim::Error on any failure.
+void atomic_write_text(const std::string& path, const std::string& text);
+
+// Create a directory (parents not created); ok if it already exists.
+void make_dir(const std::string& path);
+
+// Names of regular files/dirs in `path` (no "." / ".."), sorted.
+// Empty if the directory does not exist.
+std::vector<std::string> list_dir(const std::string& path);
+
+bool file_exists(const std::string& path);
+
+}  // namespace ptim::io

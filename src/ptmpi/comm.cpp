@@ -162,6 +162,14 @@ class World {
     return buf.data();
   }
 
+  long fetch_add(const std::string& name, int context, long delta) {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    long& c = counters_[{name, context}];  // zero-initialized on first touch
+    const long prev = c;
+    c += delta;
+    return prev;
+  }
+
   CommStats& stats(int rank) { return stats_[static_cast<size_t>(rank)]; }
   std::vector<CommStats> take_stats() { return stats_; }
 
@@ -181,6 +189,11 @@ class World {
   // they were allocated on, and node/context must not alias.
   std::map<std::pair<std::string, std::pair<int, int>>, std::vector<cplx>>
       shm_;
+
+  std::mutex counters_mu_;
+  // Named atomic counters, scoped (like shm windows) by the context of the
+  // communicator they were touched through.
+  std::map<std::pair<std::string, int>, long> counters_;
 };
 
 // ----------------------------------------------------------------- Comm --
@@ -488,6 +501,13 @@ cplx* Comm::shm_allocate(const std::string& name, size_t n) {
   cplx* p = world_->shm(name, node(), group_->context, n);
   group_->barrier();
   return p;
+}
+
+long Comm::fetch_add(const std::string& name, long delta) {
+  Timer t;
+  const long prev = world_->fetch_add(name, group_->context, delta);
+  stats().add("Fetch_add", static_cast<long long>(sizeof(long)), t.seconds());
+  return prev;
 }
 
 void set_wire_model(double base_seconds, double seconds_per_byte) {

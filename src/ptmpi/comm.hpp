@@ -173,6 +173,15 @@ class Comm {
   // communicators yields distinct windows).
   cplx* shm_allocate(const std::string& name, size_t n);
 
+  // MPI_Fetch_and_op(MPI_SUM) stand-in on a named, zero-initialized
+  // communicator-scoped counter: atomically adds `delta` and returns the
+  // PREVIOUS value. NOT collective — any rank may call it at any time,
+  // and concurrent calls serialize in some order (each caller sees a
+  // distinct previous value). This is the idle-worker job-claim primitive
+  // of the ensemble campaign layer: workers fetch_add(1) on a shared
+  // cursor to claim the next job index without a coordinator rank.
+  long fetch_add(const std::string& name, long delta);
+
   CommStats& stats();
 
  private:

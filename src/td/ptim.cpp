@@ -247,6 +247,7 @@ PtImStepStats PtImPropagator::step_finish(TdState& s, StepSession& sess) {
   sess.stats.converged = sess.residual < opt_.tol;
   orthonormalize_commit(s, std::move(sess.phi1), std::move(sess.sigma1),
                         opt_.dt);
+  if (hook_) hook_(s, sess.stats);
   return sess.stats;
 }
 
@@ -282,6 +283,7 @@ PtImStepStats PtImPropagator::step(TdState& s) {
 
   orthonormalize_commit(s, std::move(phi1), std::move(sigma1), opt_.dt);
   stats_ = nullptr;
+  if (hook_) hook_(s, stats);
   return stats;
 }
 

@@ -18,6 +18,7 @@
 //   kAce      — kDiag plus the ACE double loop (exact exchange applied only
 //               once per outer iteration; the paper's 25 -> 5 reduction).
 
+#include <functional>
 #include <optional>
 
 #include "dist/layout.hpp"
@@ -78,6 +79,16 @@ class PtImPropagator {
 
   PtImStepStats step(TdState& s);
   const PtImOptions& options() const { return opt_; }
+
+  // Invoked once per completed step, AFTER the new state is committed
+  // (orthonormalized Phi, congruence-transformed sigma, advanced time) —
+  // for both the plain step() path and the staged protocol (step_finish
+  // fires it). This is the periodic-side-effect seam the serving layer
+  // uses for auto-checkpointing: the hook observes exactly the state a
+  // resume would restore, so saving from it is bitwise-safe. The hook
+  // must not mutate the state.
+  using StepHook = std::function<void(const TdState&, const PtImStepStats&)>;
+  void set_step_hook(StepHook hook) { hook_ = std::move(hook); }
 
   // --- staged stepping (kAce + hybrid only) ------------------------------
   // The ACE double loop of step() split at its exchange applications so an
@@ -142,6 +153,7 @@ class PtImPropagator {
   ham::Hamiltonian* h_;
   PtImOptions opt_;
   const LaserPulse* laser_;
+  StepHook hook_;                   // post-commit per-step callback
   PtImStepStats* stats_ = nullptr;  // active step statistics
 };
 

@@ -243,6 +243,91 @@ TEST(Ensemble, BatchedBitwiseEqualsIndependentRuns) {
         << "width=2 job " << i;
 }
 
+// --- failure containment: unrun jobs stay recoverable ---------------------
+
+TEST(Ensemble, FailedRunLeavesUnrunJobsSubmitted) {
+  auto& sim = shared_sim();
+  const core::RunConfig cfg = ace_config(2);
+
+  const auto make_jobs = [] {
+    std::vector<core::EnsembleJob> jobs;
+    for (int k = 1; k <= 3; ++k) {
+      core::EnsembleJob j;
+      j.name = "kick_" + std::to_string(k);
+      j.kick = {k * 1e-3, 0.0, 0.0};
+      jobs.push_back(std::move(j));
+    }
+    return jobs;
+  };
+
+  // A probe with an injected fault: the first sample of the first batch
+  // throws, as a solver divergence or I/O error mid-campaign would.
+  static bool boom = true;
+  boom = true;
+  core::MeasurementSet proto;
+  proto.add("fuse", [](const core::MeasureContext&) -> real_t {
+    if (boom) throw Error("injected probe failure");
+    return 0.0;
+  });
+
+  core::EnsembleDriver ens(sim, cfg);
+  for (auto& j : make_jobs()) ens.submit(std::move(j));
+  ens.set_measurements(proto);
+  EXPECT_THROW(ens.run_all(/*batch_width=*/1), Error);
+  // run_all drains the queue one batch at a time: the failing batch and
+  // every batch after it are still submitted, not silently dropped.
+  EXPECT_EQ(ens.pending(), 3u);
+
+  // Clear the fault and retry on the SAME driver: all jobs complete and
+  // match a clean driver bitwise.
+  boom = false;
+  const auto retried = ens.run_all(/*batch_width=*/1);
+  ASSERT_EQ(retried.size(), 3u);
+  EXPECT_EQ(ens.pending(), 0u);
+
+  core::EnsembleDriver clean(sim, cfg);
+  for (auto& j : make_jobs()) clean.submit(std::move(j));
+  clean.set_measurements(proto);
+  const auto ref = clean.run_all(/*batch_width=*/1);
+  ASSERT_EQ(ref.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(
+        bitwise_equal(retried[i].final_state.phi, ref[i].final_state.phi))
+        << "job " << i;
+    EXPECT_TRUE(
+        bitwise_equal(retried[i].final_state.sigma, ref[i].final_state.sigma))
+        << "job " << i;
+  }
+}
+
+// --- custom measurement sets on the distributed wrapper -------------------
+
+TEST(RunConfig, DistributedCustomMeasurementsOmitDipoleGracefully) {
+  auto& sim = shared_sim();
+  core::Simulation::DistRunOptions opt;
+  opt.nranks = 2;
+  opt.steps = 2;
+  opt.ptim.dt = 1.0;
+  opt.ptim.tol = 1e-7;
+  opt.ptim.variant = td::PtImVariant::kAce;
+
+  // A custom set WITHOUT the dipole probe: result.dipole stays empty (the
+  // old unconditional series("dipole_x") lookup threw for such callers) and
+  // the sampled series come back through result.measurements.
+  core::MeasurementSet m;
+  m.add("sigma_trace", core::probes::sigma_trace());
+  const auto custom = sim.propagate_distributed(opt, std::move(m));
+  EXPECT_TRUE(custom.dipole.empty());
+  EXPECT_FALSE(custom.measurements.has("dipole_x"));
+  ASSERT_EQ(custom.measurements.series("sigma_trace").size(), 2u);
+
+  // The legacy call shape still gets the default dipole series.
+  const auto legacy = sim.propagate_distributed(opt);
+  ASSERT_EQ(legacy.dipole.size(), 2u);
+  EXPECT_EQ(legacy.dipole,
+            legacy.measurements.series("dipole_x"));
+}
+
 // --- lazy laser-envelope placement (LAST: mutates shared_sim's laser) -----
 
 TEST(LazyLaser, ResolvesAgainstRunHorizonAndMatchesEagerPath) {

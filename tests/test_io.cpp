@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <functional>
@@ -347,5 +350,116 @@ TEST(CheckpointResume, SimulationRunSplitIsBitExact) {
   wider.exchange_batch = 4;
   wider.nranks = 2;
   EXPECT_EQ(sim.config_hash(cfg), sim.config_hash(wider));
+  std::remove(path.c_str());
+}
+
+// --- atomic save + format v2 hardening ------------------------------------
+
+TEST(Checkpoint, AtomicSaveLeavesNoStagingAndPreservesOriginalOnFailure) {
+  const std::string path = "test_io_atomic.ckpt";
+  const io::Checkpoint c = sample_checkpoint();
+  io::save_checkpoint(path, c);
+  // The staging file was renamed away, not left behind.
+  EXPECT_EQ(std::fopen((path + ".tmp").c_str(), "rb"), nullptr);
+
+  // Force the NEXT save to fail before publication (the staging path is
+  // unopenable): the established checkpoint must survive untouched.
+  ASSERT_EQ(::mkdir((path + ".tmp").c_str(), 0777), 0);
+  io::Checkpoint newer = sample_checkpoint();
+  newer.step_index = 99;
+  expect_error_containing([&] { io::save_checkpoint(path, newer); },
+                          "cannot open checkpoint for writing");
+  const io::Checkpoint r = io::load_checkpoint(path, c.config_hash);
+  EXPECT_EQ(r.step_index, c.step_index);  // the OLD complete file
+  // The failed save's own cleanup already removed the empty decoy dir
+  // (std::remove handles both); make sure nothing is left either way.
+  ::rmdir((path + ".tmp").c_str());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, FormatV2RejectsTrailingBytesAndBadSentinel) {
+  const std::string path = "test_io_v2.ckpt";
+  io::Checkpoint c = sample_checkpoint();
+  // Round-trip an opaque campaign metadata blob alongside the state.
+  for (int i = 0; i < 257; ++i)
+    c.campaign_meta.push_back(static_cast<uint8_t>(i * 7));
+  io::save_checkpoint(path, c);
+  const std::vector<unsigned char> good = slurp(path);
+  {
+    const io::Checkpoint r = io::load_checkpoint(path, c.config_hash);
+    ASSERT_EQ(r.campaign_meta.size(), c.campaign_meta.size());
+    EXPECT_EQ(std::memcmp(r.campaign_meta.data(), c.campaign_meta.data(),
+                          c.campaign_meta.size()),
+              0);
+  }
+
+  // Bytes after the checksum were never covered by it: reject, don't trust.
+  auto corrupted = good;
+  corrupted.push_back(0x00);
+  spit(path, corrupted);
+  expect_error_containing([&] { io::load_checkpoint(path); },
+                          "trailing bytes");
+
+  // A byte-swapped version field is an opposite-endianness writer, called
+  // out as such instead of a generic corruption failure. The version u32
+  // sits at offset 8, right after the magic.
+  corrupted = good;
+  std::swap(corrupted[8], corrupted[11]);
+  std::swap(corrupted[9], corrupted[10]);
+  spit(path, corrupted);
+  expect_error_containing([&] { io::load_checkpoint(path); },
+                          "opposite-endianness");
+
+  // Same diagnosis when only the sentinel (offset 12) is byte-reversed.
+  corrupted = good;
+  std::swap(corrupted[12], corrupted[15]);
+  std::swap(corrupted[13], corrupted[14]);
+  spit(path, corrupted);
+  expect_error_containing([&] { io::load_checkpoint(path); },
+                          "opposite-endianness");
+
+  // A sentinel that matches NEITHER byte order is plain header corruption.
+  corrupted = good;
+  corrupted[12] ^= 0xff;
+  spit(path, corrupted);
+  expect_error_containing([&] { io::load_checkpoint(path); },
+                          "bad endianness sentinel");
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, VersionOneFilesStillLoad) {
+  // Hand-built v1 image (no sentinel, no campaign metadata): the reader
+  // keeps loading pre-campaign checkpoints unchanged.
+  const io::Checkpoint c = sample_checkpoint();
+  std::vector<unsigned char> out;
+  const auto put = [&out](const void* p, size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    out.insert(out.end(), b, b + n);
+  };
+  put("PTIMCKPT", 8);
+  const size_t hashed_from = out.size();
+  const uint32_t version = 1;
+  put(&version, sizeof(version));
+  put(&c.config_hash, 8);
+  put(&c.step_index, 8);
+  put(&c.state.time, 8);
+  for (int d = 0; d < 3; ++d) put(&c.avec[d], 8);
+  const uint64_t npw = c.state.phi.rows();
+  const uint64_t nb = c.state.phi.cols();
+  put(&npw, 8);
+  put(&nb, 8);
+  put(c.state.phi.data(), npw * nb * sizeof(cplx));
+  put(c.state.sigma.data(), nb * nb * sizeof(cplx));
+  const uint64_t sum =
+      io::fnv1a(out.data() + hashed_from, out.size() - hashed_from);
+  put(&sum, 8);
+
+  const std::string path = "test_io_v1.ckpt";
+  spit(path, out);
+  const io::Checkpoint r = io::load_checkpoint(path, c.config_hash);
+  EXPECT_TRUE(bitwise_equal(r.state.phi, c.state.phi));
+  EXPECT_TRUE(bitwise_equal(r.state.sigma, c.state.sigma));
+  EXPECT_EQ(r.step_index, c.step_index);
+  EXPECT_TRUE(r.campaign_meta.empty());
   std::remove(path.c_str());
 }

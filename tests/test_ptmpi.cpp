@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <mutex>
 #include <numeric>
 
 #include "common/error.hpp"
@@ -568,4 +569,34 @@ TEST(Ptmpi, ExceptionPropagates) {
     EXPECT_NE(std::string(e.what()).find("exploded"), std::string::npos);
   }
   EXPECT_TRUE(threw);
+}
+
+TEST(Ptmpi, FetchAddClaimsDisjointPartition) {
+  // The MPI_Fetch_and_op(SUM) stand-in behind the campaign's idle-worker
+  // job handoff: concurrent claimants must see strictly increasing previous
+  // values, i.e. partition the index space with no gap and no double-claim.
+  constexpr int kJobs = 23;
+  std::vector<int> owner(kJobs, -1);
+  std::mutex mu;
+  ptmpi::run_ranks(4, 2, [&](ptmpi::Comm& c) {
+    while (true) {
+      const long idx = c.fetch_add("test.claim", 1);
+      ASSERT_GE(idx, 0);
+      if (idx >= kJobs) break;
+      std::lock_guard<std::mutex> lock(mu);
+      EXPECT_EQ(owner[static_cast<size_t>(idx)], -1)
+          << "index " << idx << " claimed twice";
+      owner[static_cast<size_t>(idx)] = c.rank();
+    }
+    // A split communicator scopes counters by its own context: the same
+    // name starts from zero per subcommunicator, independent of the
+    // world-level cursor above.
+    ptmpi::Comm half = c.split(c.rank() / 2, c.rank() % 2);
+    const long v = half.fetch_add("test.claim", 1);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 2);
+  });
+  for (int i = 0; i < kJobs; ++i)
+    EXPECT_NE(owner[static_cast<size_t>(i)], -1) << "index " << i
+                                                 << " never claimed";
 }
