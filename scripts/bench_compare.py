@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Diff two sets of BENCH_*.json files and fail on metric regressions.
+
+Usage:
+    bench_compare.py BASELINE_DIR CANDIDATE_DIR [--threshold 0.15]
+                     [--atol 1e-9] [--include-timing] [--glob 'BENCH_*.json']
+
+Every JSON file matching --glob in BASELINE_DIR must exist in CANDIDATE_DIR
+(a missing candidate file is itself a failure: a bench silently dropping out
+of the artifact set must not pass CI). Two schemas are understood:
+
+  1. the bench_common writer: {"bench": <name>, "rows": [{...}, ...]}
+  2. custom dumps:            {"<key>": [{...}, ...]}
+
+Rows are matched between baseline and candidate by their identity fields
+(all string-valued fields plus the well-known axis keys such as bands,
+batch_size, rank_factor, precision). The remaining numeric fields are
+metrics. Wall-clock timing ("seconds" and any "speedup*" field) is noisy on
+shared CI runners and is ignored unless --include-timing is given; the gate
+is meant for the deterministic counters and accuracy measures (ffts, bytes,
+max_abs_denergy, dipole_drift, ...), which are reproducible run to run.
+
+A metric regresses when the candidate exceeds
+    max(baseline * (1 + threshold), baseline + atol)
+i.e. higher is worse for everything gated. The atol term keeps near-zero
+accuracy metrics (1e-12-level energy drifts) from tripping the relative gate
+on harmless last-digit changes; anything that grows past atol in absolute
+terms must still clear the relative bar. Exit status is nonzero iff at
+least one metric regressed or a candidate file is missing.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# Fields that identify a row rather than measure it. String-valued fields
+# are always identity; these names are identity even when numeric.
+IDENTITY_KEYS = {
+    "bands",
+    "batch_size",
+    "rank_factor",
+    "precision",
+    "name",
+    "config",
+    "mode",
+    "ranks",
+    "steps",
+}
+
+# Noisy wall-clock metrics, skipped unless --include-timing.
+TIMING_PREFIXES = ("speedup",)
+TIMING_KEYS = {"seconds"}
+
+
+def find_rows(doc):
+    """Return (list_key, rows) for either supported schema."""
+    if isinstance(doc.get("rows"), list):
+        return "rows", doc["rows"]
+    for key, val in doc.items():
+        if isinstance(val, list) and all(isinstance(r, dict) for r in val):
+            return key, val
+    return None, []
+
+
+def row_identity(row):
+    ident = []
+    for key in sorted(row):
+        val = row[key]
+        if isinstance(val, str) or key in IDENTITY_KEYS:
+            ident.append((key, val))
+    return tuple(ident)
+
+
+def is_timing(key):
+    return key in TIMING_KEYS or key.startswith(TIMING_PREFIXES)
+
+
+def compare_rows(base_row, cand_row, threshold, atol, include_timing):
+    """Yield (metric, baseline, candidate, regressed) per gated metric."""
+    for key in sorted(base_row):
+        base = base_row[key]
+        if isinstance(base, str) or key in IDENTITY_KEYS:
+            continue
+        if not isinstance(base, (int, float)):
+            continue
+        if is_timing(key) and not include_timing:
+            continue
+        cand = cand_row.get(key)
+        if not isinstance(cand, (int, float)):
+            yield key, base, cand, True
+            continue
+        if base == 0 and cand == 0:
+            continue
+        limit = max(base * (1.0 + threshold), base + atol)
+        yield key, base, cand, cand > limit
+
+
+def compare_file(base_path, cand_path, threshold, atol, include_timing):
+    """Return (n_checked, failures) where failures is a list of messages."""
+    with open(base_path) as f:
+        base_doc = json.load(f)
+    with open(cand_path) as f:
+        cand_doc = json.load(f)
+    _, base_rows = find_rows(base_doc)
+    _, cand_rows = find_rows(cand_doc)
+    cand_by_id = {row_identity(r): r for r in cand_rows}
+
+    fname = os.path.basename(base_path)
+    checked = 0
+    failures = []
+    for base_row in base_rows:
+        ident = row_identity(base_row)
+        label = ", ".join(f"{k}={v}" for k, v in ident) or "<row>"
+        cand_row = cand_by_id.get(ident)
+        if cand_row is None:
+            failures.append(f"{fname}: row [{label}] missing from candidate")
+            continue
+        for key, base, cand, bad in compare_rows(
+            base_row, cand_row, threshold, atol, include_timing
+        ):
+            checked += 1
+            if bad:
+                failures.append(
+                    f"{fname}: [{label}] {key} regressed: "
+                    f"baseline {base!r} -> candidate {cand!r} "
+                    f"(threshold {threshold:.0%}, atol {atol:g})"
+                )
+    return checked, failures
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    ap.add_argument("baseline_dir")
+    ap.add_argument("candidate_dir")
+    ap.add_argument("--threshold", type=float, default=0.15)
+    ap.add_argument("--atol", type=float, default=1e-9)
+    ap.add_argument("--include-timing", action="store_true")
+    ap.add_argument("--glob", default="BENCH_*.json")
+    args = ap.parse_args(argv)
+
+    base_paths = sorted(glob.glob(os.path.join(args.baseline_dir, args.glob)))
+    if not base_paths:
+        print(
+            f"bench_compare: no files matching {args.glob!r} in "
+            f"{args.baseline_dir}",
+            file=sys.stderr,
+        )
+        return 1
+
+    total_checked = 0
+    all_failures = []
+    for base_path in base_paths:
+        cand_path = os.path.join(args.candidate_dir, os.path.basename(base_path))
+        if not os.path.exists(cand_path):
+            all_failures.append(
+                f"{os.path.basename(base_path)}: missing from candidate dir"
+            )
+            continue
+        checked, failures = compare_file(
+            base_path, cand_path, args.threshold, args.atol, args.include_timing
+        )
+        total_checked += checked
+        all_failures.extend(failures)
+        status = "FAIL" if failures else "ok"
+        print(
+            f"{status:4s} {os.path.basename(base_path)}: "
+            f"{checked} metrics checked, {len(failures)} regression(s)"
+        )
+
+    for msg in all_failures:
+        print(f"  {msg}", file=sys.stderr)
+    print(
+        f"bench_compare: {total_checked} metrics across {len(base_paths)} "
+        f"file(s), {len(all_failures)} failure(s)"
+    )
+    return 1 if all_failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@
 #include "backend/executor.hpp"
 #include "backend/kernels.hpp"
 #include "dist/circulate.hpp"
+#include "dist/isdf_dist.hpp"
 #include "dist/rotate.hpp"
 
 namespace ptim::dist {
@@ -116,6 +117,12 @@ la::MatC exchange_apply_distributed_local(ptmpi::Comm& c,
     counts[static_cast<size_t>(r)] = src_bands.count(r);
   std::vector<real_t> d(src_bands.total());
   c.allgatherv(d_local.data(), d_local.size(), d.data(), counts);
+
+  // ISDF replaces the slab circulation wholesale: band-parallel fit from
+  // Allreduced Gram partials, then a local GEMM apply (dist/isdf_dist).
+  if (xop.options().compression == ham::ExchangeCompression::kIsdf)
+    return exchange_apply_isdf_local(c, xop, src_local, d, tgt_local,
+                                     src_bands);
 
   if (xop.options().precision != Precision::kDouble)
     return diag_circulation<cplxf>(c, xop, src_local, d, tgt_local, src_bands,

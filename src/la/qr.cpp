@@ -1,0 +1,96 @@
+#include "la/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/kernels.hpp"
+
+namespace ptim::la {
+
+PivotedQr qr_column_pivot(Matrix<cplx> a, size_t max_rank) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  const size_t steps = std::min(max_rank, std::min(m, n));
+  PivotedQr out;
+  out.pivots.reserve(steps);
+  out.rdiag.reserve(steps);
+  if (steps == 0) return out;
+
+  std::vector<size_t> perm(n);
+  for (size_t j = 0; j < n; ++j) perm[j] = j;
+  // Residual norm^2 per column plus the value at the last exact
+  // evaluation, for the classic downdate-accuracy test.
+  std::vector<real_t> norms(n), ref(n);
+#pragma omp parallel for schedule(static)
+  for (size_t j = 0; j < n; ++j) {
+    const cplx* cj = a.col(j);
+    real_t s = 0.0;
+    for (size_t i = 0; i < m; ++i) s += std::norm(cj[i]);
+    norms[j] = ref[j] = s;
+  }
+
+  std::vector<cplx> v(m);
+  for (size_t k = 0; k < steps; ++k) {
+    // Serial argmax, lowest index wins ties — the determinism anchor.
+    size_t p = k;
+    for (size_t j = k + 1; j < n; ++j)
+      if (norms[j] > norms[p]) p = j;
+    if (p != k) {
+      cplx* ck = a.col(k);
+      cplx* cp = a.col(p);
+      for (size_t i = 0; i < m; ++i) std::swap(ck[i], cp[i]);
+      std::swap(norms[k], norms[p]);
+      std::swap(ref[k], ref[p]);
+      std::swap(perm[k], perm[p]);
+    }
+    out.pivots.push_back(perm[k]);
+
+    cplx* ck = a.col(k);
+    real_t xnorm2 = 0.0;
+    for (size_t i = k; i < m; ++i) xnorm2 += std::norm(ck[i]);
+    const real_t xnorm = std::sqrt(xnorm2);
+    out.rdiag.push_back(xnorm);
+    if (xnorm == 0.0) continue;  // remaining columns are all zero too
+
+    // Householder vector v = x - alpha e1 with alpha = -sign(x0) |x| (the
+    // cancellation-free choice).
+    const cplx x0 = ck[k];
+    const real_t ax0 = std::abs(x0);
+    const cplx phase = ax0 > 0.0 ? x0 / ax0 : cplx(1.0);
+    const cplx alpha = -phase * xnorm;
+    for (size_t i = k; i < m; ++i) v[i] = ck[i];
+    v[k] -= alpha;
+    real_t vnorm2 = 0.0;
+    for (size_t i = k; i < m; ++i) vnorm2 += std::norm(v[i]);
+    if (vnorm2 == 0.0) continue;  // column already eliminated
+    const real_t beta = 2.0 / vnorm2;
+
+    ck[k] = alpha;
+    for (size_t i = k + 1; i < m; ++i) ck[i] = cplx(0.0);
+    // H = I - beta v v^H applied to the trailing columns; each column is
+    // independent, so the parallel loop stays deterministic per column.
+#pragma omp parallel for schedule(static)
+    for (size_t j = k + 1; j < n; ++j) {
+      cplx* cj = a.col(j);
+      const cplx dot = cx_dotc(m - k, v.data() + k, cj + k);
+      const cplx s = beta * dot;
+      cx_axpy(m - k, -s, v.data() + k, cj + k);
+      // Downdate: row k leaves the residual.
+      const real_t nj = norms[j] - std::norm(cj[k]);
+      norms[j] = nj > 0.0 ? nj : 0.0;
+    }
+    // Exact recomputation where the downdate has lost its accuracy.
+#pragma omp parallel for schedule(static)
+    for (size_t j = k + 1; j < n; ++j) {
+      if (norms[j] > 1e-8 * ref[j]) continue;
+      const cplx* cj = a.col(j);
+      real_t s = 0.0;
+      for (size_t i = k + 1; i < m; ++i) s += std::norm(cj[i]);
+      norms[j] = ref[j] = s;
+    }
+    norms[k] = 0.0;
+  }
+  return out;
+}
+
+}  // namespace ptim::la

@@ -1,0 +1,33 @@
+#pragma once
+// Column-pivoted Householder QR (Businger-Golub). The primitive behind the
+// ISDF interpolation-point selection (ham/isdf): the pivot order of the
+// weighted band-product matrix IS the point ranking, so only the pivot
+// sequence and the R diagonal are returned, not the factors.
+//
+// Deterministic by construction: the pivot argmax is a serial scan with
+// lowest-index tie-breaking, and the reflector update parallelizes over
+// independent columns only — identical inputs give a bitwise-identical
+// pivot sequence on every run and every rank.
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace ptim::la {
+
+struct PivotedQr {
+  // Selected columns of the ORIGINAL matrix, in elimination order.
+  std::vector<size_t> pivots;
+  // |R(k,k)| of each elimination step: the residual norm of the chosen
+  // column, non-increasing in exact arithmetic (each step can only shrink
+  // the remaining columns).
+  std::vector<real_t> rdiag;
+};
+
+// Run max_rank elimination steps (clamped to min(rows, cols)) of
+// column-pivoted Householder QR on a working copy of a. Column norms are
+// downdated classically and recomputed exactly when cancellation has eaten
+// the running value.
+PivotedQr qr_column_pivot(Matrix<cplx> a, size_t max_rank);
+
+}  // namespace ptim::la

@@ -52,6 +52,13 @@ struct PtImOptions {
   // Hamiltonian's configuration. Trajectories are bit-identical across
   // backends.
   std::optional<backend::Kind> exchange_backend;
+  // Low-rank (ISDF) compression of the exchange apply (ham/isdf), applied
+  // like exchange_precision at propagator construction. The fit is rebuilt
+  // at every apply — i.e. refreshed on each ACE outer iteration together
+  // with the ACE projector itself — so there is no cross-step operator
+  // state. Unset keeps the Hamiltonian's configuration.
+  std::optional<ham::ExchangeCompression> exchange_compression;
+  std::optional<real_t> isdf_rank_factor;
   // 2-D band x grid process layout of distributed runs (ignored by the
   // serial propagator): nranks = pb*pg ranks split into pb band rows and pg
   // grid columns; exact exchange FFTs run slab-distributed over the grid

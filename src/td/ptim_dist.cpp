@@ -46,6 +46,13 @@ DistPtImPropagator::DistPtImPropagator(dist::BandDistributedHamiltonian& h,
   // circulation or the stream-pipelined (overlapped) one.
   if (opt_.exchange_backend)
     h_->local().set_exchange_backend(*opt_.exchange_backend);
+  // ISDF compression reaches the rank-local operator the same way; the
+  // band-parallel fit (dist/isdf_dist) then replaces the slab circulation
+  // with deterministically Allreduced Gram blocks.
+  if (opt_.exchange_compression)
+    h_->local().set_exchange_compression(*opt_.exchange_compression);
+  if (opt_.isdf_rank_factor)
+    h_->local().set_isdf_rank_factor(*opt_.isdf_rank_factor);
 }
 
 void DistPtImPropagator::configure_exchange_midpoint(
