@@ -192,10 +192,12 @@ inline double time_exchange_apply(const MiniSystem& sys,
       best = secs;
       if (comm_seconds) {
         *comm_seconds = 0.0;
+        // Quiesced locked copy (CommStats::snapshot) — the one sanctioned
+        // way to read op stats, even though run_ranks has already joined.
+        const ptmpi::CommStats st = ptmpi::last_run_stats()[0].snapshot();
         for (const char* op : {"Sendrecv", "Wait", "Bcast"}) {
-          const auto& ops = ptmpi::last_run_stats()[0].ops;
-          const auto it = ops.find(op);
-          if (it != ops.end()) *comm_seconds += it->second.seconds;
+          const auto it = st.ops.find(op);
+          if (it != st.ops.end()) *comm_seconds += it->second.seconds;
         }
       }
     }
@@ -261,10 +263,10 @@ inline GridSweepRow run_grid_exchange(const MiniSystem& sys,
   });
   row.apply_seconds = apply_secs;
   row.slab_fft_seconds = fft_secs[0];
-  const auto& ops = ptmpi::last_run_stats()[0].ops;
+  const ptmpi::CommStats st = ptmpi::last_run_stats()[0].snapshot();
   auto bytes_of = [&](const char* op) {
-    const auto it = ops.find(op);
-    return it != ops.end() ? it->second.bytes : 0LL;
+    const auto it = st.ops.find(op);
+    return it != st.ops.end() ? it->second.bytes : 0LL;
   };
   row.ring_bytes =
       bytes_of("Sendrecv") + bytes_of("Wait") + bytes_of("Bcast");

@@ -10,10 +10,13 @@
 //     240 ARM / 24 GPU nodes, printed against the published factors.
 
 #include <cmath>
+#include <cstdio>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "bench_common.hpp"
 #include "common/timer.hpp"
+#include "core/simulation.hpp"
 #include "dist/exchange_dist.hpp"
 #include "netsim/experiments.hpp"
 
@@ -78,7 +81,7 @@ int main() {
         (void)dist::exchange_apply_distributed(c, xop, src, d, src, pat);
       });
       long long bytes = 0;
-      for (const auto& [op, st] : ptmpi::last_run_stats()[0].ops)
+      for (const auto& [op, st] : ptmpi::last_run_stats()[0].snapshot().ops)
         bytes += st.bytes;
       std::printf("%-10s %12.3f %16lld\n", dist::pattern_name(pat),
                   timer.seconds(), bytes);
@@ -98,9 +101,50 @@ int main() {
     const auto stats = bench::run_distributed_steps(
         sys, td::PtImVariant::kAce, pat, 4, /*steps=*/1, &step_seconds);
     long long bytes = 0;
-    for (const auto& [op, st] : stats[0].ops) bytes += st.bytes;
+    for (const auto& [op, st] : stats[0].snapshot().ops) bytes += st.bytes;
     std::printf("%-10s %12.3f %14.4f %16lld\n", dist::pattern_name(pat),
                 step_seconds, stats[0].total_seconds(), bytes);
+  }
+
+  // ------------------------------------------------------ traced part ----
+  // The same 4-rank async-ring step again, but through Simulation::run with
+  // tracing and metrics on, and the wire model giving every transfer a
+  // measurable cost. Produces the artifacts the CI observability gate
+  // checks: TRACE_fig9_stepwise.json (one merged Chrome trace with
+  // per-rank compute/comm lanes — scripts/trace_validate.py verifies
+  // nesting and a nonzero comm/compute overlap fraction) and
+  // METRICS_fig9_stepwise.jsonl (per-rank StepReport rows whose
+  // deterministic columns bench_compare.py gates against the baseline).
+  std::printf("\n[traced] distributed PT-IM-ACE steps, 4 thread ranks,"
+              " async ring + wire model\n");
+  {
+    core::SystemSpec spec;
+    spec.ecut = 2.0;
+    spec.temperature_k = 8000.0;
+    spec.scf.tol_rho = 1e-6;
+    core::Simulation sim(spec);
+    sim.prepare_ground_state();
+
+    core::RunConfig cfg;
+    cfg.steps = 2;
+    cfg.dt = 1.0;
+    cfg.tol = 1e-7;
+    cfg.variant = td::PtImVariant::kAce;
+    cfg.nranks = 4;
+    cfg.ranks_per_node = 2;
+    cfg.pattern = dist::ExchangePattern::kAsyncRing;
+    cfg.backend = backend::Kind::kHostAsync;
+    cfg.trace_path = "TRACE_fig9_stepwise.json";
+    cfg.metrics_path = "METRICS_fig9_stepwise.jsonl";
+    std::remove(cfg.metrics_path.c_str());  // the sink appends
+
+    ptmpi::set_wire_model(2e-5, 1e-9);  // 20 us latency, ~1 GB/s
+    Timer timer;
+    (void)sim.run(cfg);
+    const double secs = timer.seconds();
+    ptmpi::set_wire_model(0.0, 0.0);
+    std::printf("%d traced steps in %.3f s -> %s, %s\n", cfg.steps, secs,
+                cfg.trace_path.c_str(), cfg.metrics_path.c_str());
   }
 
   // ----------------------------------------------------- modeled part ----

@@ -86,7 +86,7 @@ int main() {
                                                sys.ground.occ, sys.ground.phi,
                                                pat);
       });
-      const auto& st = ptmpi::last_run_stats()[0];
+      const ptmpi::CommStats st = ptmpi::last_run_stats()[0].snapshot();
       std::printf("%-10s %-6s", prec == Precision::kDouble
                                     ? dist::pattern_name(pat) : "",
                   precision_name(prec));
@@ -113,7 +113,7 @@ int main() {
         dist::ExchangePattern::kAsyncRing}) {
     const auto stats = bench::run_distributed_steps(
         sys, td::PtImVariant::kAce, pat, 4, /*steps=*/1);
-    const auto& st = stats[0];
+    const ptmpi::CommStats st = stats[0].snapshot();
     bool first = true;
     auto row = [&](const char* what,
                    const std::function<void(const ptmpi::OpStats&)>& get) {
@@ -152,7 +152,7 @@ int main() {
     const auto stats = bench::run_distributed_steps(
         sys, td::PtImVariant::kAce, pat, 4, /*steps=*/1, nullptr,
         Precision::kSingle);
-    const auto& st = stats[0];
+    const ptmpi::CommStats st = stats[0].snapshot();
     std::printf("%-10s %-6s", dist::pattern_name(pat), "bytes");
     for (const char* op : kOps) {
       const auto it = st.ops.find(op);

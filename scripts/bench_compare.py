@@ -4,6 +4,7 @@
 Usage:
     bench_compare.py BASELINE_DIR CANDIDATE_DIR [--threshold 0.15]
                      [--atol 1e-9] [--include-timing] [--glob 'BENCH_*.json']
+                     [--jsonl-glob 'METRICS_*.jsonl']
 
 Every JSON file matching --glob in BASELINE_DIR must exist in CANDIDATE_DIR
 (a missing candidate file is itself a failure: a bench silently dropping out
@@ -11,6 +12,13 @@ of the artifact set must not pass CI). Two schemas are understood:
 
   1. the bench_common writer: {"bench": <name>, "rows": [{...}, ...]}
   2. custom dumps:            {"<key>": [{...}, ...]}
+
+Files matching --jsonl-glob are obs StepReport streams (one JSON object per
+line, appended per committed PT-IM step). Rows are keyed by
+(job_id, rank, step) with the LAST occurrence winning — a resumed campaign
+rewinds to its checkpoint and legitimately re-appends the replayed steps.
+Only the deterministic counters (FFT counts, comm bytes, iteration counts)
+are gated; wall-clock and allocator columns are machine noise by design.
 
 Rows are matched between baseline and candidate by their identity fields
 (all string-valued fields plus the well-known axis keys such as bands,
@@ -52,6 +60,21 @@ IDENTITY_KEYS = {
 # Noisy wall-clock metrics, skipped unless --include-timing.
 TIMING_PREFIXES = ("speedup",)
 TIMING_KEYS = {"seconds"}
+
+# StepReport JSONL rows: identity, and the only metrics stable enough to
+# gate. seconds/comm_seconds/isdf_fit_seconds are wall-clock; alloc_delta
+# reads a process-global counter shared by concurrently stepping ranks;
+# residual is converged-to-tolerance float noise.
+METRICS_IDENTITY = ("job_id", "rank", "step")
+METRICS_GATED = {
+    "ffts",
+    "ring_bytes",
+    "alltoallv_bytes",
+    "allreduce_bytes",
+    "scf_iterations",
+    "outer_iterations",
+    "exchange_applications",
+}
 
 
 def find_rows(doc):
@@ -130,6 +153,58 @@ def compare_file(base_path, cand_path, threshold, atol, include_timing):
     return checked, failures
 
 
+def load_jsonl_rows(path):
+    """Parse a StepReport stream; dedupe by (job_id, rank, step), last wins."""
+    by_key = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            by_key[tuple(row.get(k) for k in METRICS_IDENTITY)] = row
+    return [by_key[k] for k in sorted(by_key)]
+
+
+def compare_jsonl_file(base_path, cand_path, threshold, atol):
+    """Gate the deterministic StepReport columns row by row."""
+    base_rows = load_jsonl_rows(base_path)
+    cand_by_key = {
+        tuple(r.get(k) for k in METRICS_IDENTITY): r
+        for r in load_jsonl_rows(cand_path)
+    }
+
+    fname = os.path.basename(base_path)
+    checked = 0
+    failures = []
+    for base_row in base_rows:
+        key = tuple(base_row.get(k) for k in METRICS_IDENTITY)
+        label = ", ".join(f"{k}={v}" for k, v in zip(METRICS_IDENTITY, key))
+        cand_row = cand_by_key.get(key)
+        if cand_row is None:
+            failures.append(f"{fname}: row [{label}] missing from candidate")
+            continue
+        for metric in sorted(METRICS_GATED):
+            base = base_row.get(metric)
+            if not isinstance(base, (int, float)):
+                continue
+            cand = cand_row.get(metric)
+            checked += 1
+            if not isinstance(cand, (int, float)):
+                failures.append(f"{fname}: [{label}] {metric} missing")
+                continue
+            if base == 0 and cand == 0:
+                continue
+            limit = max(base * (1.0 + threshold), base + atol)
+            if cand > limit:
+                failures.append(
+                    f"{fname}: [{label}] {metric} regressed: "
+                    f"baseline {base!r} -> candidate {cand!r} "
+                    f"(threshold {threshold:.0%}, atol {atol:g})"
+                )
+    return checked, failures
+
+
 def main(argv=None):
     ap = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
@@ -140,9 +215,13 @@ def main(argv=None):
     ap.add_argument("--atol", type=float, default=1e-9)
     ap.add_argument("--include-timing", action="store_true")
     ap.add_argument("--glob", default="BENCH_*.json")
+    ap.add_argument("--jsonl-glob", default="METRICS_*.jsonl")
     args = ap.parse_args(argv)
 
     base_paths = sorted(glob.glob(os.path.join(args.baseline_dir, args.glob)))
+    jsonl_paths = sorted(
+        glob.glob(os.path.join(args.baseline_dir, args.jsonl_glob))
+    )
     if not base_paths:
         print(
             f"bench_compare: no files matching {args.glob!r} in "
@@ -171,11 +250,30 @@ def main(argv=None):
             f"{checked} metrics checked, {len(failures)} regression(s)"
         )
 
+    for base_path in jsonl_paths:
+        cand_path = os.path.join(args.candidate_dir, os.path.basename(base_path))
+        if not os.path.exists(cand_path):
+            all_failures.append(
+                f"{os.path.basename(base_path)}: missing from candidate dir"
+            )
+            continue
+        checked, failures = compare_jsonl_file(
+            base_path, cand_path, args.threshold, args.atol
+        )
+        total_checked += checked
+        all_failures.extend(failures)
+        status = "FAIL" if failures else "ok"
+        print(
+            f"{status:4s} {os.path.basename(base_path)}: "
+            f"{checked} metrics checked, {len(failures)} regression(s)"
+        )
+
     for msg in all_failures:
         print(f"  {msg}", file=sys.stderr)
     print(
-        f"bench_compare: {total_checked} metrics across {len(base_paths)} "
-        f"file(s), {len(all_failures)} failure(s)"
+        f"bench_compare: {total_checked} metrics across "
+        f"{len(base_paths) + len(jsonl_paths)} file(s), "
+        f"{len(all_failures)} failure(s)"
     )
     return 1 if all_failures else 0
 

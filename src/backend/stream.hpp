@@ -18,6 +18,8 @@
 #include <string>
 #include <thread>
 
+#include "obs/obs.hpp"
+
 namespace ptim::backend {
 
 namespace detail {
@@ -50,7 +52,16 @@ struct EventState {
 class StreamState {
  public:
   explicit StreamState(std::string name) : name_(std::move(name)) {
-    worker_ = std::thread([this] { run(); });
+    // The worker inherits the CREATING thread's obs rank (create_stream
+    // runs on the rank thread) and uses the stream name as its trace
+    // lane — that is what splits one rank's timeline into "xchg.compute"
+    // vs "xchg.comm" lanes in the exported trace.
+    const obs::ThreadTag creator = obs::thread_tag();
+    const uint32_t lane = obs::intern(name_);
+    worker_ = std::thread([this, creator, lane] {
+      obs::set_thread_tag(obs::ThreadTag{creator.rank, lane});
+      run();
+    });
   }
   ~StreamState() {
     {

@@ -8,26 +8,25 @@ ProfileRegistry& ProfileRegistry::instance() {
 }
 
 void ProfileRegistry::add(const std::string& name, double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& e = entries_[name];
-  e.count += 1;
-  e.seconds += seconds;
+  obs::profile_add(obs::intern(name), seconds);
+}
+
+void ProfileRegistry::add(uint32_t name_id, double seconds) {
+  obs::profile_add(name_id, seconds);
 }
 
 ProfileEntry ProfileRegistry::get(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(name);
-  return it == entries_.end() ? ProfileEntry{} : it->second;
+  const obs::ProfileSlot s = obs::profile_get(obs::intern(name));
+  return ProfileEntry{s.count, s.seconds};
 }
 
 std::map<std::string, ProfileEntry> ProfileRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_;
+  std::map<std::string, ProfileEntry> out;
+  for (const auto& [name, slot] : obs::profile_snapshot())
+    out.emplace(name, ProfileEntry{slot.count, slot.seconds});
+  return out;
 }
 
-void ProfileRegistry::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_.clear();
-}
+void ProfileRegistry::clear() { obs::profile_clear(); }
 
 }  // namespace ptim

@@ -5,11 +5,20 @@
 // accumulate (count, seconds); benches read them back to print per-stage
 // breakdowns (e.g. Fock exchange vs density vs mixing, or per-MPI-op time
 // for the Table I reproduction).
+//
+// Since the obs subsystem landed, the registry is a thin string-keyed
+// facade over obs interned-id accumulation (obs::profile_*): the
+// per-call map lookup the old implementation paid in every ScopedTimer
+// destructor is now a one-time intern per call site plus a vector-slot
+// add. Existing string tags ("isdf.fit", ...) keep working unchanged,
+// and every ScopedTimer section doubles as an obs trace span when
+// tracing is enabled, so timed sections appear in exported timelines.
 
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "obs/obs.hpp"
 
 namespace ptim {
 
@@ -31,31 +40,42 @@ struct ProfileEntry {
   double seconds = 0.0;
 };
 
-// Thread-safe accumulation of named timing sections.
+// Thread-safe accumulation of named timing sections (obs-backed).
 class ProfileRegistry {
  public:
   static ProfileRegistry& instance();
 
   void add(const std::string& name, double seconds);
+  void add(uint32_t name_id, double seconds);
   ProfileEntry get(const std::string& name) const;
   std::map<std::string, ProfileEntry> snapshot() const;
   void clear();
-
- private:
-  mutable std::mutex mu_;
-  std::map<std::string, ProfileEntry> entries_;
 };
 
-// RAII section timer: accumulates into the registry on destruction.
+// RAII section timer: accumulates into the registry on destruction and,
+// when tracing is enabled, records the section as a trace span. Hot call
+// sites should pre-intern (static const uint32_t id = obs::intern("x"))
+// and use the id overload; the string overload interns per construction.
 class ScopedTimer {
  public:
-  explicit ScopedTimer(std::string name) : name_(std::move(name)) {}
-  ~ScopedTimer() { ProfileRegistry::instance().add(name_, timer_.seconds()); }
+  explicit ScopedTimer(const std::string& name,
+                       obs::Cat cat = obs::Cat::kCompute)
+      : ScopedTimer(obs::intern(name), cat) {}
+  explicit ScopedTimer(uint32_t name_id, obs::Cat cat = obs::Cat::kCompute)
+      : name_id_(name_id), cat_(cat) {
+    if (obs::enabled()) t0_ns_ = obs::now_ns();
+  }
+  ~ScopedTimer() {
+    obs::profile_add(name_id_, timer_.seconds());
+    if (t0_ns_ != 0) obs::record_span(name_id_, cat_, t0_ns_, obs::now_ns());
+  }
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 
  private:
-  std::string name_;
+  uint32_t name_id_;
+  obs::Cat cat_;
+  uint64_t t0_ns_ = 0;
   Timer timer_;
 };
 

@@ -4,8 +4,11 @@
 #include <cstring>
 #include <map>
 
+#include "backend/buffer.hpp"
 #include "common/error.hpp"
 #include "ham/density.hpp"
+#include "obs/obs.hpp"
+#include "obs/step_report.hpp"
 
 namespace ptim::core {
 
@@ -94,6 +97,18 @@ std::string single_line(const char* what) {
 
 std::string ckpt_path(const std::string& job_dir, uint64_t step) {
   return job_dir + "/ckpt_" + std::to_string(step) + ".ckpt";
+}
+
+// Counter snapshot for the per-step metrics sampler (cfg.metrics_path acts
+// as the enable switch; each job appends to <job_dir>/metrics.jsonl).
+obs::StepCounters job_counters(const ham::Hamiltonian& h, ptmpi::Comm& c) {
+  obs::StepCounters sc;
+  sc.ffts = h.exchange_op().fft_count.load(std::memory_order_relaxed);
+  sc.alloc_count = backend::buffer_alloc_count();
+  sc.isdf_fit_seconds = obs::profile_get(obs::intern("isdf.fit")).seconds +
+                        obs::profile_get(obs::intern("isdf.fit_dist")).seconds;
+  sc.comm = c.stats().snapshot();
+  return sc;
 }
 
 // ckpt_<step>.ckpt names in `dir`, step-descending. Anything else — in
@@ -222,6 +237,7 @@ void EnsembleCampaign::run_job(ptmpi::Comm& group, int id) {
                          << job_dir);
   uint64_t done = ck.step_index;
   const auto total = static_cast<uint64_t>(spec.steps);
+  if (done > 0) OBS_MARK("campaign.resume", obs::Cat::kIo);
 
   if (leader) {
     io::JobStatus st;
@@ -250,7 +266,18 @@ void EnsembleCampaign::run_job(ptmpi::Comm& group, int id) {
            (cfg_.checkpoint_every > 0 &&
             k % static_cast<uint64_t>(cfg_.checkpoint_every) == 0);
   };
+  // Per-job metrics: one JSONL file beside the job's checkpoints, written
+  // by the group leader in append mode — a killed-and-resumed job keeps
+  // appending to the same file (readers dedupe by (job_id, rank, step),
+  // keeping the last line, since resume rewinds to the newest checkpoint
+  // and re-emits the replayed steps).
+  std::unique_ptr<obs::MetricsSink> msink;
+  obs::StepSampler msampler;
+  if (leader && !cfg_.metrics_path.empty())
+    msink = std::make_unique<obs::MetricsSink>(job_dir + "/metrics.jsonl");
+
   const auto persist = [&](const td::TdState& full) {
+    OBS_SPAN("campaign.checkpoint", obs::Cat::kIo);
     io::Checkpoint out;
     out.state = full;
     out.step_index = done;
@@ -268,9 +295,23 @@ void EnsembleCampaign::run_job(ptmpi::Comm& group, int id) {
     td::TdState s = std::move(ck.state);
     td::PtImPropagator prop(*h, cfg_.ptim(), laser.get());
     std::vector<real_t> rho;
+    if (msink) msampler.begin(job_counters(*h, group));
     while (done < total) {
-      prop.step(s);
+      const td::PtImStepStats st = prop.step(s);
       ++done;
+      if (msink) {
+        obs::StepReport r = msampler.end(job_counters(*h, group));
+        r.job_id = id;
+        r.rank = group.rank();
+        r.step = static_cast<long>(done);
+        r.scf_iterations = st.scf_iterations;
+        r.outer_iterations = st.outer_iterations;
+        r.exchange_applications = st.exchange_applications;
+        r.residual = st.residual;
+        r.converged = st.converged ? 1 : 0;
+        msink->write(r);
+        msampler.begin(job_counters(*h, group));
+      }
       rho = ham::density_sigma(s.phi, s.sigma, h->den_map());
       MeasureContext ctx;
       ctx.rho = &rho;
@@ -298,9 +339,25 @@ void EnsembleCampaign::run_job(ptmpi::Comm& group, int id) {
       td::scatter_state(ck.state, bands, pgrid.band_rank_of(group.rank()));
   td::DistPtImPropagator prop(bdh, cfg_.ptim(), laser.get());
   const bool want_phi = m.needs_phi();
+  if (msink) msampler.begin(job_counters(*h, group));
   while (done < total) {
-    prop.step(s);
+    const td::PtImStepStats st = prop.step(s);
     ++done;
+    if (msink) {
+      // Leader-only rows: the leader's own comm/FFT deltas stand in for
+      // the group (band work is balanced by construction).
+      obs::StepReport r = msampler.end(job_counters(*h, group));
+      r.job_id = id;
+      r.rank = group.rank();
+      r.step = static_cast<long>(done);
+      r.scf_iterations = st.scf_iterations;
+      r.outer_iterations = st.outer_iterations;
+      r.exchange_applications = st.exchange_applications;
+      r.residual = st.residual;
+      r.converged = st.converged ? 1 : 0;
+      msink->write(r);
+      msampler.begin(job_counters(*h, group));
+    }
     const std::vector<real_t> rho = bdh.density(s.phi_local, s.sigma);
     // gather_state is collective over the band communicator (every grid
     // column gathers redundantly); the leader holds band rank 0's copy.
@@ -345,6 +402,8 @@ void EnsembleCampaign::run() {
       group.bcast(&idx, sizeof(idx), 0);
       if (idx >= static_cast<long>(runnable.size())) break;
       const int id = runnable[static_cast<size_t>(idx)];
+      OBS_MARK("campaign.claim", obs::Cat::kIo);
+      OBS_SPAN("campaign.run_job", obs::Cat::kIo);
       if (g == 1) {
         // Serial groups contain per-job failures: the job is marked
         // kFailed and the campaign moves on. CampaignKill is NOT an

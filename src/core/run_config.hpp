@@ -80,6 +80,20 @@ struct RunConfig {
   int checkpoint_every = 0;    // 0 = no auto-checkpointing
   std::string checkpoint_dir;  // must exist when checkpoint_every > 0
 
+  // --- observability ------------------------------------------------------
+  // Both hash-neutral (physics_hash enumerates fields, so new knobs are
+  // excluded by default): telemetry must never invalidate a checkpoint.
+  // trace_path: when nonempty, Simulation::run records obs spans across
+  // the whole run and writes ONE merged Chrome trace-event JSON there —
+  // distributed runs gather every rank's buffers over ptmpi first, so the
+  // file holds per-rank lanes (plus per-stream sub-lanes under HostAsync).
+  // metrics_path: when nonempty, every committed PT-IM step appends one
+  // StepReport JSONL line there (per rank, for distributed runs). For
+  // campaigns this knob is an enable switch: each job writes to
+  // `<job's checkpoint dir>/metrics.jsonl` instead of one shared file.
+  std::string trace_path;
+  std::string metrics_path;
+
   // Resolve the envelope horizon for a run starting at t_start.
   real_t horizon(real_t t_start) const {
     return t_horizon > 0.0 ? t_horizon

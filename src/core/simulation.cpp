@@ -1,12 +1,43 @@
 #include "core/simulation.hpp"
 
 #include <cmath>
+#include <memory>
 
+#include "backend/buffer.hpp"
 #include "common/error.hpp"
 #include "ham/density.hpp"
+#include "obs/obs.hpp"
+#include "obs/step_report.hpp"
+#include "obs/trace_export.hpp"
 #include "td/observables.hpp"
 
 namespace ptim::core {
+
+namespace {
+
+// Counter snapshot for the per-step metrics sampler. `xop` is the exchange
+// operator the propagator actually drives (the per-rank Hamiltonian's, for
+// distributed runs); `comm` is null on the serial path.
+obs::StepCounters sample_counters(const ham::ExchangeOperator& xop,
+                                  ptmpi::Comm* comm) {
+  obs::StepCounters sc;
+  sc.ffts = xop.fft_count.load(std::memory_order_relaxed);
+  sc.alloc_count = backend::buffer_alloc_count();
+  sc.isdf_fit_seconds = obs::profile_get(obs::intern("isdf.fit")).seconds +
+                        obs::profile_get(obs::intern("isdf.fit_dist")).seconds;
+  if (comm) sc.comm = comm->stats().snapshot();
+  return sc;
+}
+
+void fill_step_stats(obs::StepReport* r, const td::PtImStepStats& st) {
+  r->scf_iterations = st.scf_iterations;
+  r->outer_iterations = st.outer_iterations;
+  r->exchange_applications = st.exchange_applications;
+  r->residual = st.residual;
+  r->converged = st.converged ? 1 : 0;
+}
+
+}  // namespace
 
 Simulation::Simulation(SystemSpec spec) : spec_(spec) {
   grid::Lattice tmp = grid::Lattice::cubic(1.0);
@@ -115,18 +146,43 @@ Simulation::RunResult Simulation::run(const RunConfig& cfg,
     return cfg.checkpoint_dir + "/ckpt_" + std::to_string(done) + ".ckpt";
   };
 
+  // Observability knobs (both hash-neutral). Tracing spans the whole run;
+  // the previous enabled state is restored on exit so a traced run inside
+  // a larger process (tests, benches) cannot leak recording into it.
+  const bool tracing = !cfg.trace_path.empty();
+  const bool was_enabled = obs::enabled();
+  if (tracing) {
+    obs::clear();
+    obs::set_enabled(true);
+  }
+  std::shared_ptr<obs::MetricsSink> metrics;
+  if (!cfg.metrics_path.empty())
+    metrics = std::make_shared<obs::MetricsSink>(cfg.metrics_path);
+
   if (cfg.nranks == 1) {
     td::TdState s = initial;
     td::PtImPropagator prop(*h_, cfg.ptim(), laser_.get());
-    if (cfg.checkpoint_every > 0) {
+    if (cfg.checkpoint_every > 0 || metrics) {
       // Post-commit hook of the staged step protocol: the state it sees is
-      // exactly what a resume restores, so saving here is bitwise-safe.
+      // exactly what a resume restores, so saving here is bitwise-safe —
+      // and the metrics sampler closes its per-step window at the same
+      // commit point, so a report row always describes a resumable step.
       uint64_t done = start_step;
       int step = 0;
-      prop.set_step_hook([this, &cfg, &ckpt_due, &ckpt_path, done, step](
-                             const td::TdState& hs,
-                             const td::PtImStepStats&) mutable {
+      auto sampler = std::make_shared<obs::StepSampler>();
+      if (metrics) sampler->begin(sample_counters(h_->exchange_op(), nullptr));
+      prop.set_step_hook([this, &cfg, &ckpt_due, &ckpt_path, metrics, sampler,
+                          done, step](const td::TdState& hs,
+                                      const td::PtImStepStats& st) mutable {
         ++done;
+        if (metrics) {
+          obs::StepReport r =
+              sampler->end(sample_counters(h_->exchange_op(), nullptr));
+          r.step = static_cast<long>(done);
+          fill_step_stats(&r, st);
+          metrics->write(r);
+          sampler->begin(sample_counters(h_->exchange_op(), nullptr));
+        }
         if (ckpt_due(done, step++))
           io::save_checkpoint(ckpt_path(done), checkpoint(cfg, hs, done));
       });
@@ -144,6 +200,11 @@ Simulation::RunResult Simulation::run(const RunConfig& cfg,
       result.measurements.record(ctx);
     }
     result.final_state = std::move(s);
+    if (tracing) {
+      obs::set_enabled(was_enabled);
+      obs::write_chrome_trace(cfg.trace_path, obs::snapshot());
+      obs::clear();
+    }
     return result;
   }
 
@@ -170,8 +231,24 @@ Simulation::RunResult Simulation::run(const RunConfig& cfg,
     td::DistTdState s =
         td::scatter_state(initial, bands, pgrid.band_rank_of(c.rank()));
     td::DistPtImPropagator prop(bdh, cfg.ptim(), laser_.get());
+    // Per-rank metrics sampler: each rank reports its own comm/FFT deltas
+    // into the shared (thread-safe) sink, keyed by its rank column.
+    obs::StepSampler sampler;
+    if (metrics) sampler.begin(sample_counters(h->exchange_op(), &c));
     for (int step = 0; step < cfg.steps; ++step) {
-      const td::PtImStepStats st = prop.step(s);
+      td::PtImStepStats st;
+      {
+        OBS_SPAN("td.dist_step", obs::Cat::kStep);
+        st = prop.step(s);
+      }
+      if (metrics) {
+        obs::StepReport r = sampler.end(sample_counters(h->exchange_op(), &c));
+        r.rank = c.rank();
+        r.step = static_cast<long>(start_step) + step + 1;
+        fill_step_stats(&r, st);
+        metrics->write(r);
+        sampler.begin(sample_counters(h->exchange_op(), &c));
+      }
       // Observables from the distributed state: rho is Allreduced over the
       // band communicator (and the grid columns compute it redundantly and
       // identically), so rho-derived probes see the same values on every
@@ -211,8 +288,23 @@ Simulation::RunResult Simulation::run(const RunConfig& cfg,
     // 0, which holds the full state for the caller).
     const td::TdState full = td::gather_state(bdh.comm(), s, bands);
     if (c.rank() == 0) result.final_state = full;
+    if (tracing) {
+      // Rank-merged trace: after the barrier every rank is past its last
+      // instrumented operation (stream workers drained inside the step
+      // loop), so the per-rank snapshots are quiesced. Each rank filters
+      // to its own span set and ships it to world rank 0, which writes
+      // ONE timeline with a process lane per rank.
+      c.barrier();
+      const std::vector<obs::Span> merged =
+          obs::gather_spans(c, obs::snapshot(c.rank()));
+      if (c.rank() == 0) obs::write_chrome_trace(cfg.trace_path, merged);
+    }
   });
   result.comm = ptmpi::last_run_stats();
+  if (tracing) {
+    obs::set_enabled(was_enabled);
+    obs::clear();
+  }
   return result;
 }
 

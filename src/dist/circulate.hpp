@@ -39,6 +39,7 @@
 #include "common/types.hpp"
 #include "dist/layout.hpp"
 #include "dist/pattern.hpp"
+#include "obs/obs.hpp"
 #include "ptmpi/comm.hpp"
 
 namespace ptim::dist {
@@ -71,8 +72,12 @@ void circulate_slabs_sync(ptmpi::Comm& c, const std::vector<T>& mine,
     case ExchangePattern::kBcast: {
       backend::Buffer<T> buf(slab_elems);
       for (int root = 0; root < p; ++root) {
-        if (root == me) std::copy(mine.begin(), mine.end(), buf.data());
-        c.bcast(static_cast<void*>(buf.data()), slab_bytes, root);
+        {
+          OBS_SPAN("xchg.bcast", obs::Cat::kComm);
+          if (root == me) std::copy(mine.begin(), mine.end(), buf.data());
+          c.bcast(static_cast<void*>(buf.data()), slab_bytes, root);
+        }
+        OBS_SPAN("xchg.apply_slab", obs::Cat::kCompute);
         apply(buf.data(), root);
       }
       break;
@@ -86,8 +91,12 @@ void circulate_slabs_sync(ptmpi::Comm& c, const std::vector<T>& mine,
       const int next = (me + 1) % p;
       const int prev = (me - 1 + p) % p;
       for (int s = 0; s < p; ++s) {
-        apply(cur, (me - s % p + p) % p);
+        {
+          OBS_SPAN("xchg.apply_slab", obs::Cat::kCompute);
+          apply(cur, (me - s % p + p) % p);
+        }
         if (s + 1 < p) {
+          OBS_SPAN("xchg.sendrecv", obs::Cat::kComm);
           c.sendrecv(next, static_cast<const void*>(cur), slab_bytes, prev,
                      static_cast<void*>(nxt), slab_bytes,
                      /*tag=*/s);
@@ -111,8 +120,12 @@ void circulate_slabs_sync(ptmpi::Comm& c, const std::vector<T>& mine,
           rs = c.isend(next, cur, slab_bytes, /*tag=*/s);
         }
         // Compute overlaps the in-flight transfer.
-        apply(cur, (me - s % p + p) % p);
+        {
+          OBS_SPAN("xchg.apply_slab", obs::Cat::kCompute);
+          apply(cur, (me - s % p + p) % p);
+        }
         if (more) {
+          OBS_SPAN("xchg.wait", obs::Cat::kComm);
           c.wait(rs);
           c.wait(rr);
           std::swap(cur, nxt);
@@ -176,7 +189,12 @@ void circulate_slabs_streamed(ptmpi::Comm& c, const std::vector<T>& mine,
   auto launch_apply = [&](int s, int origin) {
     const T* slab = buf[s % 2];
     ex.launch(
-        compute, [&apply, slab, origin] { apply(slab, origin); },
+        compute,
+        [&apply, slab, origin] {
+          // Recorded on the compute stream's worker lane.
+          OBS_SPAN("xchg.apply_slab", obs::Cat::kCompute);
+          apply(slab, origin);
+        },
         apply_kernel);
     done[static_cast<size_t>(s)] = ex.record(compute);
   };
@@ -192,6 +210,7 @@ void circulate_slabs_streamed(ptmpi::Comm& c, const std::vector<T>& mine,
         ex.launch(
             comm,
             [&c, &mine, b, slab_bytes, root, me] {
+              OBS_SPAN("xchg.comm_round", obs::Cat::kComm);
               if (root == me) std::copy(mine.begin(), mine.end(), b);
               c.bcast(static_cast<void*>(b), slab_bytes, root);
             },
@@ -218,6 +237,7 @@ void circulate_slabs_streamed(ptmpi::Comm& c, const std::vector<T>& mine,
           ex.launch(
               comm,
               [&c, cur, nxt, slab_bytes, next, prev, s, posted] {
+                OBS_SPAN("xchg.comm_round", obs::Cat::kComm);
                 if (posted) {
                   // Isend/Irecv first, waits after — the ptmpi waits are
                   // what this stream's completion event stands for.

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "fft/axis_pass.hpp"
+#include "obs/obs.hpp"
 
 namespace ptim::fft {
 
@@ -63,7 +64,11 @@ void DistFft3T<R>::slab_to_pencil(const C* slab, C* pencil,
         }
   }
 
-  comm_.alltoallv(sendbuf_.data(), send_counts, recvbuf_.data(), recv_counts);
+  {
+    OBS_SPAN("dfft.alltoallv", obs::Cat::kComm);
+    comm_.alltoallv(sendbuf_.data(), send_counts, recvbuf_.data(),
+                    recv_counts);
+  }
 
   size_t rdx = 0;
   for (int r = 0; r < p; ++r) {
@@ -114,7 +119,11 @@ void DistFft3T<R>::pencil_to_slab(const C* pencil, C* slab,
         }
   }
 
-  comm_.alltoallv(sendbuf_.data(), send_counts, recvbuf_.data(), recv_counts);
+  {
+    OBS_SPAN("dfft.alltoallv", obs::Cat::kComm);
+    comm_.alltoallv(sendbuf_.data(), send_counts, recvbuf_.data(),
+                    recv_counts);
+  }
 
   size_t rdx = 0;
   for (int r = 0; r < p; ++r) {
@@ -133,6 +142,7 @@ void DistFft3T<R>::pencil_to_slab(const C* pencil, C* slab,
 template <typename R>
 void DistFft3T<R>::forward(const C* slab, C* pencil, size_t nbatch) const {
   if (nbatch == 0) return;
+  OBS_SPAN("dfft.forward", obs::Cat::kFft);
   Timer t;
   const size_t zloc = zslabs_.count(rank_);
   const size_t nyloc = yrows_.count(rank_);
@@ -170,6 +180,7 @@ void DistFft3T<R>::forward(const C* slab, C* pencil, size_t nbatch) const {
 template <typename R>
 void DistFft3T<R>::inverse(const C* pencil, C* slab, size_t nbatch) const {
   if (nbatch == 0) return;
+  OBS_SPAN("dfft.inverse", obs::Cat::kFft);
   Timer t;
   const size_t zloc = zslabs_.count(rank_);
   const size_t nyloc = yrows_.count(rank_);

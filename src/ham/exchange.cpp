@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/obs.hpp"
 #include "ham/isdf.hpp"
 #include "la/blas.hpp"
 #include "la/eig.hpp"
@@ -155,6 +156,7 @@ void ExchangeOperator::pair_accumulate_single(
 }
 
 void ExchangeOperator::kernel_filter_block(cplx* block, size_t nb) const {
+  OBS_SPAN("xchg.kernel_filter", obs::Cat::kFft);
   const size_t ng = map_->grid().size();
   const auto& fft3 = map_->grid().fft();
   const real_t inv_ng = 1.0 / static_cast<real_t>(ng);
@@ -167,6 +169,7 @@ void ExchangeOperator::kernel_filter_block(cplx* block, size_t nb) const {
 }
 
 void ExchangeOperator::kernel_filter_block(cplxf* block, size_t nb) const {
+  OBS_SPAN("xchg.kernel_filter", obs::Cat::kFft);
   const size_t ng = map_->grid().size();
   const auto& fft3 = map_->grid().fft_f32();
   const realf_t inv_ng = 1.0f / static_cast<realf_t>(ng);
@@ -188,6 +191,7 @@ template <typename CS>
 void ExchangeOperator::pair_form_block_t(const CS* src_real, const size_t* idx,
                                          size_t nb, const CS* tgt_real,
                                          CS* block, size_t nloc) const {
+  OBS_SPAN("xchg.pair_form", obs::Cat::kCompute);
   // Pair densities for the whole block, one fused parallel region.
 #pragma omp parallel for schedule(static) collapse(2)
   for (size_t i = 0; i < nb; ++i)
@@ -201,6 +205,7 @@ void ExchangeOperator::accumulate_block_t(const CS* src_real, const size_t* idx,
                                           const real_t* d, size_t nb,
                                           const CS* block, cplx* acc,
                                           cplx* comp, size_t nloc) const {
+  OBS_SPAN("xchg.accumulate", obs::Cat::kCompute);
   const size_t ng = map_->grid().size();
   // Fused accumulate over the block; parallel over grid points so the
   // acc[] updates never race.
@@ -320,6 +325,7 @@ void ExchangeOperator::accumulate_weighted_block(const cplxf* weight_real,
 
 void ExchangeOperator::gather_accumulate(const cplx* acc, cplx* scratch,
                                          cplx* out_col) const {
+  OBS_SPAN("xchg.gather", obs::Cat::kCompute);
   map_->to_sphere(acc, scratch);
   const size_t npw = map_->sphere().npw();
   const real_t a = -opt_.alpha;

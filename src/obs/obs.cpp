@@ -1,0 +1,256 @@
+#include "obs/obs.hpp"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace ptim::obs {
+
+namespace {
+
+// --- interner -------------------------------------------------------------
+
+struct Interner {
+  std::mutex mu;
+  std::unordered_map<std::string, uint32_t> ids;
+  std::vector<std::string> names;
+  Interner() {
+    ids.emplace("main", 0u);
+    names.push_back("main");
+  }
+};
+
+Interner& interner() {
+  static Interner* i = new Interner();  // leaked: outlives static dtors
+  return *i;
+}
+
+// --- per-thread ring buffers ---------------------------------------------
+
+struct ThreadBuf {
+  std::vector<Span> ring;
+  // Total spans ever written; slot = head % ring.size(). The release store
+  // is what makes a quiesced snapshot() see fully-written slots.
+  std::atomic<uint64_t> head{0};
+
+  explicit ThreadBuf(size_t capacity) : ring(capacity) {}
+
+  void push(const Span& s) {
+    const uint64_t h = head.load(std::memory_order_relaxed);
+    ring[h % ring.size()] = s;
+    head.store(h + 1, std::memory_order_release);
+  }
+};
+
+struct Registry {
+  std::mutex mu;
+  // ThreadBufs are never freed (thread_local raw pointers into them must
+  // stay valid after clear()); bounded by the number of recording threads.
+  std::vector<std::unique_ptr<ThreadBuf>> bufs;
+  size_t capacity = size_t{1} << 16;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives static dtors
+  return *r;
+}
+
+thread_local ThreadBuf* tls_buf = nullptr;
+thread_local ThreadTag tls_tag{};
+
+ThreadBuf& thread_buf() {
+  if (!tls_buf) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.bufs.push_back(std::make_unique<ThreadBuf>(r.capacity));
+    tls_buf = r.bufs.back().get();
+  }
+  return *tls_buf;
+}
+
+// --- profile accumulators -------------------------------------------------
+
+struct Profiles {
+  std::mutex mu;
+  std::vector<ProfileSlot> slots;
+};
+
+Profiles& profiles() {
+  static Profiles* p = new Profiles();  // leaked: outlives static dtors
+  return *p;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+const char* cat_name(Cat c) {
+  switch (c) {
+    case Cat::kCompute:
+      return "compute";
+    case Cat::kComm:
+      return "comm";
+    case Cat::kFft:
+      return "fft";
+    case Cat::kIo:
+      return "io";
+    case Cat::kStep:
+      return "step";
+    case Cat::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+uint32_t intern(const std::string& name) {
+  Interner& in = interner();
+  std::lock_guard<std::mutex> lock(in.mu);
+  auto it = in.ids.find(name);
+  if (it != in.ids.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(in.names.size());
+  in.names.push_back(name);
+  in.ids.emplace(name, id);
+  return id;
+}
+
+std::string name_of(uint32_t id) {
+  Interner& in = interner();
+  std::lock_guard<std::mutex> lock(in.mu);
+  if (id < in.names.size()) return in.names[id];
+  return "<unknown:" + std::to_string(id) + ">";
+}
+
+size_t interned_count() {
+  Interner& in = interner();
+  std::lock_guard<std::mutex> lock(in.mu);
+  return in.names.size();
+}
+
+ThreadTag thread_tag() { return tls_tag; }
+void set_thread_tag(ThreadTag t) { tls_tag = t; }
+void set_thread_rank(int rank) { tls_tag.rank = rank; }
+void set_thread_lane(uint32_t lane_id) { tls_tag.lane = lane_id; }
+
+void set_enabled(bool on) {
+  // The trace epoch is pinned the first time tracing turns on, so span
+  // timestamps start near zero rather than at process-uptime offsets.
+  if (on) (void)trace_epoch();
+  detail_enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+void set_ring_capacity(size_t spans) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.capacity = spans < 16 ? 16 : spans;
+}
+
+size_t ring_capacity() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.capacity;
+}
+
+size_t thread_buffer_count() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.bufs.size();
+}
+
+uint64_t dropped_spans() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  uint64_t dropped = 0;
+  for (const auto& b : r.bufs) {
+    const uint64_t h = b->head.load(std::memory_order_acquire);
+    const uint64_t cap = b->ring.size();
+    if (h > cap) dropped += h - cap;
+  }
+  return dropped;
+}
+
+uint64_t now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+void record_span(uint32_t name_id, Cat cat, uint64_t t0_ns, uint64_t t1_ns) {
+  Span s;
+  s.t0_ns = t0_ns;
+  s.t1_ns = t1_ns;
+  s.name_id = name_id;
+  s.lane = tls_tag.lane;
+  s.rank = tls_tag.rank;
+  s.cat = cat;
+  thread_buf().push(s);
+}
+
+void mark(uint32_t name_id, Cat cat) {
+  const uint64_t t = now_ns();
+  record_span(name_id, cat, t, t);
+}
+
+std::vector<Span> snapshot(int rank_filter) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<Span> out;
+  for (const auto& b : r.bufs) {
+    const uint64_t h = b->head.load(std::memory_order_acquire);
+    const uint64_t cap = b->ring.size();
+    const uint64_t n = h < cap ? h : cap;
+    // Oldest surviving span first.
+    for (uint64_t i = h - n; i < h; ++i) {
+      const Span& s = b->ring[i % cap];
+      if (rank_filter == kAllRanks || s.rank == rank_filter) out.push_back(s);
+    }
+  }
+  return out;
+}
+
+void clear() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& b : r.bufs) b->head.store(0, std::memory_order_release);
+}
+
+void profile_add(uint32_t name_id, double seconds) {
+  Profiles& p = profiles();
+  std::lock_guard<std::mutex> lock(p.mu);
+  if (name_id >= p.slots.size()) p.slots.resize(name_id + 1);
+  p.slots[name_id].count += 1;
+  p.slots[name_id].seconds += seconds;
+}
+
+ProfileSlot profile_get(uint32_t name_id) {
+  Profiles& p = profiles();
+  std::lock_guard<std::mutex> lock(p.mu);
+  if (name_id < p.slots.size()) return p.slots[name_id];
+  return ProfileSlot{};
+}
+
+std::vector<std::pair<std::string, ProfileSlot>> profile_snapshot() {
+  Profiles& p = profiles();
+  std::vector<ProfileSlot> slots;
+  {
+    std::lock_guard<std::mutex> lock(p.mu);
+    slots = p.slots;
+  }
+  std::vector<std::pair<std::string, ProfileSlot>> out;
+  for (uint32_t id = 0; id < slots.size(); ++id) {
+    if (slots[id].count > 0) out.emplace_back(name_of(id), slots[id]);
+  }
+  return out;
+}
+
+void profile_clear() {
+  Profiles& p = profiles();
+  std::lock_guard<std::mutex> lock(p.mu);
+  p.slots.clear();
+}
+
+}  // namespace ptim::obs

@@ -1,0 +1,240 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "ptmpi/comm.hpp"
+
+namespace ptim::obs {
+
+namespace {
+
+// Messages in the gather protocol use a tag well outside the ranges the
+// numeric kernels use (circulate rounds, transposes), so a gather can
+// never be matched against stray traffic.
+constexpr int kGatherTag = 9100;
+
+void put_u32(std::vector<char>* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->insert(out->end(), buf, buf + 4);
+}
+
+void put_u64(std::vector<char>* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->insert(out->end(), buf, buf + 8);
+}
+
+struct Reader {
+  const char* p;
+  const char* end;
+  void need(size_t n) const {
+    if (static_cast<size_t>(end - p) < n)
+      throw std::runtime_error("obs: truncated span blob");
+  }
+  uint32_t u32() {
+    need(4);
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    p += 4;
+    return v;
+  }
+  uint64_t u64() {
+    need(8);
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    p += 8;
+    return v;
+  }
+  std::string str(size_t n) {
+    need(n);
+    std::string s(p, n);
+    p += n;
+    return s;
+  }
+};
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<char> serialize_spans(const std::vector<Span>& spans) {
+  // Compact name table: only the ids these spans reference (names AND
+  // lanes share the interner, so one table serves both fields).
+  std::unordered_map<uint32_t, uint32_t> idx_of;
+  std::vector<uint32_t> ids;
+  auto note = [&](uint32_t id) {
+    if (idx_of.emplace(id, static_cast<uint32_t>(ids.size())).second)
+      ids.push_back(id);
+  };
+  for (const Span& s : spans) {
+    note(s.name_id);
+    note(s.lane);
+  }
+
+  std::vector<char> out;
+  put_u64(&out, ids.size());
+  for (uint32_t id : ids) {
+    const std::string name = name_of(id);
+    put_u32(&out, static_cast<uint32_t>(name.size()));
+    out.insert(out.end(), name.begin(), name.end());
+  }
+  put_u64(&out, spans.size());
+  for (const Span& s : spans) {
+    put_u64(&out, s.t0_ns);
+    put_u64(&out, s.t1_ns);
+    put_u32(&out, idx_of[s.name_id]);
+    put_u32(&out, idx_of[s.lane]);
+    put_u32(&out, static_cast<uint32_t>(s.rank));
+    put_u32(&out, static_cast<uint32_t>(s.cat));
+  }
+  return out;
+}
+
+void deserialize_spans(const std::vector<char>& blob, std::vector<Span>* out) {
+  Reader r{blob.data(), blob.data() + blob.size()};
+  const uint64_t n_names = r.u64();
+  std::vector<uint32_t> local_id(n_names);
+  for (uint64_t i = 0; i < n_names; ++i) {
+    const uint32_t len = r.u32();
+    local_id[i] = intern(r.str(len));
+  }
+  const uint64_t n_spans = r.u64();
+  out->reserve(out->size() + n_spans);
+  for (uint64_t i = 0; i < n_spans; ++i) {
+    Span s;
+    s.t0_ns = r.u64();
+    s.t1_ns = r.u64();
+    const uint32_t name_idx = r.u32();
+    const uint32_t lane_idx = r.u32();
+    if (name_idx >= n_names || lane_idx >= n_names)
+      throw std::runtime_error("obs: span blob name index out of range");
+    s.name_id = local_id[name_idx];
+    s.lane = local_id[lane_idx];
+    s.rank = static_cast<int32_t>(r.u32());
+    s.cat = static_cast<Cat>(r.u32());
+    out->push_back(s);
+  }
+}
+
+std::vector<Span> gather_spans(ptmpi::Comm& comm,
+                               const std::vector<Span>& local) {
+  if (comm.size() == 1) return local;
+  if (comm.rank() == 0) {
+    std::vector<Span> merged = local;
+    for (int src = 1; src < comm.size(); ++src) {
+      uint64_t bytes = 0;
+      comm.recv(src, &bytes, sizeof(bytes), kGatherTag);
+      std::vector<char> blob(bytes);
+      if (bytes > 0) comm.recv(src, blob.data(), bytes, kGatherTag);
+      deserialize_spans(blob, &merged);
+    }
+    return merged;
+  }
+  const std::vector<char> blob = serialize_spans(local);
+  const uint64_t bytes = blob.size();
+  comm.send(0, &bytes, sizeof(bytes), kGatherTag);
+  if (bytes > 0) comm.send(0, blob.data(), bytes, kGatherTag);
+  return {};
+}
+
+std::string chrome_trace_json(const std::vector<Span>& spans) {
+  std::vector<const Span*> ordered;
+  ordered.reserve(spans.size());
+  for (const Span& s : spans) ordered.push_back(&s);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Span* a, const Span* b) {
+                     if (a->t0_ns != b->t0_ns) return a->t0_ns < b->t0_ns;
+                     return a->t1_ns > b->t1_ns;  // parents before children
+                   });
+
+  // pid = rank lane (serial spans, rank -1, land on pid 0); tid = stream
+  // lane. Metadata events give each lane its human name.
+  auto pid_of = [](const Span& s) { return s.rank < 0 ? 0 : s.rank; };
+  std::set<int> pids;
+  std::map<std::pair<int, uint32_t>, std::string> tids;
+  bool has_rank = false;
+  for (const Span& s : spans) {
+    pids.insert(pid_of(s));
+    tids.emplace(std::make_pair(pid_of(s), s.lane), name_of(s.lane));
+    if (s.rank >= 0) has_rank = true;
+  }
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  for (int pid : pids) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\""
+       << (has_rank ? "rank " + std::to_string(pid) : std::string("main"))
+       << "\"}}";
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"name\":\"process_sort_index\",\"args\":{\"sort_index"
+       << "\":" << pid << "}}";
+  }
+  for (const auto& kv : tids) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << kv.first.first
+       << ",\"tid\":" << kv.first.second
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    json_escape(os, kv.second);
+    os << "\"}}";
+  }
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  for (const Span* s : ordered) {
+    sep();
+    os << "{\"ph\":\"X\",\"pid\":" << pid_of(*s) << ",\"tid\":" << s->lane
+       << ",\"name\":\"";
+    json_escape(os, name_of(s->name_id));
+    os << "\",\"cat\":\"" << cat_name(s->cat)
+       << "\",\"ts\":" << static_cast<double>(s->t0_ns) / 1000.0
+       << ",\"dur\":" << static_cast<double>(s->t1_ns - s->t0_ns) / 1000.0
+       << "}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<Span>& spans) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw std::runtime_error("obs: cannot open trace file " + path);
+  f << chrome_trace_json(spans);
+  if (!f) throw std::runtime_error("obs: failed writing trace file " + path);
+}
+
+}  // namespace ptim::obs

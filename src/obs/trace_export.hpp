@@ -1,0 +1,43 @@
+#pragma once
+// Chrome trace-event export for obs span buffers.
+//
+// The exporter turns a quiesced snapshot() into the trace-event JSON that
+// chrome://tracing and Perfetto load: one "X" (complete) event per span,
+// ts/dur in microseconds, pid = rank lane, tid = stream lane, plus "M"
+// metadata events naming each lane. For distributed runs, gather_spans()
+// ships every rank's spans to rank 0 over the ptmpi Comm with a
+// self-contained wire format (spans carry their own name table, so the
+// protocol does not assume ranks share an interner — ptmpi's in-process
+// ranks do, real MPI ranks would not).
+
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace ptim::ptmpi {
+class Comm;
+}
+
+namespace ptim::obs {
+
+// Self-contained wire blob: name table (only the names the spans use)
+// followed by the spans with name/lane remapped to table indices.
+std::vector<char> serialize_spans(const std::vector<Span>& spans);
+// Append blob's spans to *out, re-interning its name table into this
+// process's interner. Throws std::runtime_error on a malformed blob.
+void deserialize_spans(const std::vector<char>& blob, std::vector<Span>* out);
+
+// Collective over comm: every rank passes its own (rank-filtered) spans;
+// rank 0 returns the merge of all ranks' spans, other ranks return empty.
+std::vector<Span> gather_spans(ptmpi::Comm& comm,
+                               const std::vector<Span>& local);
+
+// Trace-event JSON for the spans (sorted by begin time). Standalone — the
+// string is a complete {"traceEvents": [...]} document.
+std::string chrome_trace_json(const std::vector<Span>& spans);
+// chrome_trace_json + write to path. Throws std::runtime_error on I/O error.
+void write_chrome_trace(const std::string& path,
+                        const std::vector<Span>& spans);
+
+}  // namespace ptim::obs

@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace ptim::ptmpi {
 
@@ -531,6 +532,9 @@ void run_ranks(int nranks, int ranks_per_node,
   threads.reserve(static_cast<size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&world, &fn, &errors, r] {
+      // Tag the rank thread so obs spans recorded anywhere below fn —
+      // including backend streams it creates — carry the world rank.
+      obs::set_thread_rank(r);
       try {
         Comm comm(&world, r);
         fn(comm);

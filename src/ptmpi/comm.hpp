@@ -50,13 +50,21 @@ struct CommStats {
   // (pencil-transpose Alltoallv inside the slab FFT) and comm stream (band
   // ring transfers) record into the same per-rank stats concurrently.
   // Reading `ops` directly is only safe once the run has quiesced (benches
-  // and tests read last_run_stats() after run_ranks returns).
+  // and tests read last_run_stats() after run_ranks returns); snapshot()
+  // takes a locked copy and is safe at ANY time — mid-run readers (the
+  // per-step metrics sampler, live dashboards) must go through it.
   void add(const std::string& op, long long bytes, double seconds) {
     std::lock_guard<std::mutex> lock(mu_);
     auto& o = ops[op];
     o.calls += 1;
     o.bytes += bytes;
     o.seconds += seconds;
+  }
+  CommStats snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    CommStats out;
+    out.ops = ops;
+    return out;
   }
   double total_seconds() const {
     double t = 0.0;
@@ -65,14 +73,14 @@ struct CommStats {
   }
 
   CommStats() = default;
-  CommStats(const CommStats& other) : ops(other.ops) {}
+  CommStats(const CommStats& other) : ops(other.snapshot().ops) {}
   CommStats& operator=(const CommStats& other) {
-    ops = other.ops;
+    ops = other.snapshot().ops;
     return *this;
   }
 
  private:
-  std::mutex mu_;
+  mutable std::mutex mu_;
 };
 
 class World;

@@ -255,7 +255,7 @@ PtImStepStats PtImPropagator::step_finish(TdState& s, StepSession& sess) {
 }
 
 PtImStepStats PtImPropagator::step(TdState& s) {
-  ScopedTimer timer("td.ptim_step");
+  ScopedTimer timer("td.ptim_step", obs::Cat::kStep);
 
   if (opt_.variant == PtImVariant::kAce && opt_.hybrid) {
     // The ACE double loop, driven through the staged protocol (so the
