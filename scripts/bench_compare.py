@@ -11,7 +11,13 @@ Every JSON file matching --glob in BASELINE_DIR must exist in CANDIDATE_DIR
 of the artifact set must not pass CI). Two schemas are understood:
 
   1. the bench_common writer: {"bench": <name>, "rows": [{...}, ...]}
-  2. custom dumps:            {"<key>": [{...}, ...]}
+  2. custom dumps:            {"<key>": [{...}, ...], "<key2>": [...], ...}
+
+EVERY list-of-dicts array in a document is gated (custom dumps may carry
+several — e.g. BENCH_table1_comm.json's "model", "overlap" and
+"gamma_ring" sections); arrays are matched between baseline and candidate
+by their key, and a baseline array missing from the candidate document is
+a failure.
 
 Files matching --jsonl-glob are obs StepReport streams (one JSON object per
 line, appended per committed PT-IM step). Rows are keyed by
@@ -23,7 +29,7 @@ are gated; wall-clock and allocator columns are machine noise by design.
 Rows are matched between baseline and candidate by their identity fields
 (all string-valued fields plus the well-known axis keys such as bands,
 batch_size, rank_factor, precision). The remaining numeric fields are
-metrics. Wall-clock timing ("seconds" and any "speedup*" field) is noisy on
+metrics. Wall-clock timing (any "*seconds" or "speedup*" field) is noisy on
 shared CI runners and is ignored unless --include-timing is given; the gate
 is meant for the deterministic counters and accuracy measures (ffts, bytes,
 max_abs_denergy, dipole_drift, ...), which are reproducible run to run.
@@ -55,11 +61,14 @@ IDENTITY_KEYS = {
     "mode",
     "ranks",
     "steps",
+    "nbatch",
+    "fields",
 }
 
-# Noisy wall-clock metrics, skipped unless --include-timing.
+# Noisy wall-clock metrics, skipped unless --include-timing: "seconds",
+# "step_seconds", "speedup_vs_serialized", ...
 TIMING_PREFIXES = ("speedup",)
-TIMING_KEYS = {"seconds"}
+TIMING_SUFFIXES = ("seconds",)
 
 # StepReport JSONL rows: identity, and the only metrics stable enough to
 # gate. seconds/comm_seconds/isdf_fit_seconds are wall-clock; alloc_delta
@@ -77,14 +86,15 @@ METRICS_GATED = {
 }
 
 
-def find_rows(doc):
-    """Return (list_key, rows) for either supported schema."""
+def find_row_lists(doc):
+    """Return {list_key: rows} for every gated array in the document."""
     if isinstance(doc.get("rows"), list):
-        return "rows", doc["rows"]
-    for key, val in doc.items():
-        if isinstance(val, list) and all(isinstance(r, dict) for r in val):
-            return key, val
-    return None, []
+        return {"rows": doc["rows"]}
+    return {
+        key: val
+        for key, val in doc.items()
+        if isinstance(val, list) and all(isinstance(r, dict) for r in val)
+    }
 
 
 def row_identity(row):
@@ -97,7 +107,7 @@ def row_identity(row):
 
 
 def is_timing(key):
-    return key in TIMING_KEYS or key.startswith(TIMING_PREFIXES)
+    return key.endswith(TIMING_SUFFIXES) or key.startswith(TIMING_PREFIXES)
 
 
 def compare_rows(base_row, cand_row, threshold, atol, include_timing):
@@ -126,30 +136,39 @@ def compare_file(base_path, cand_path, threshold, atol, include_timing):
         base_doc = json.load(f)
     with open(cand_path) as f:
         cand_doc = json.load(f)
-    _, base_rows = find_rows(base_doc)
-    _, cand_rows = find_rows(cand_doc)
-    cand_by_id = {row_identity(r): r for r in cand_rows}
+    base_lists = find_row_lists(base_doc)
+    cand_lists = find_row_lists(cand_doc)
 
     fname = os.path.basename(base_path)
     checked = 0
     failures = []
-    for base_row in base_rows:
-        ident = row_identity(base_row)
-        label = ", ".join(f"{k}={v}" for k, v in ident) or "<row>"
-        cand_row = cand_by_id.get(ident)
-        if cand_row is None:
-            failures.append(f"{fname}: row [{label}] missing from candidate")
+    for list_key, base_rows in base_lists.items():
+        cand_rows = cand_lists.get(list_key)
+        if cand_rows is None:
+            failures.append(
+                f"{fname}: array {list_key!r} missing from candidate"
+            )
             continue
-        for key, base, cand, bad in compare_rows(
-            base_row, cand_row, threshold, atol, include_timing
-        ):
-            checked += 1
-            if bad:
+        cand_by_id = {row_identity(r): r for r in cand_rows}
+        for base_row in base_rows:
+            ident = row_identity(base_row)
+            label = ", ".join(f"{k}={v}" for k, v in ident) or "<row>"
+            cand_row = cand_by_id.get(ident)
+            if cand_row is None:
                 failures.append(
-                    f"{fname}: [{label}] {key} regressed: "
-                    f"baseline {base!r} -> candidate {cand!r} "
-                    f"(threshold {threshold:.0%}, atol {atol:g})"
+                    f"{fname}: {list_key} row [{label}] missing from candidate"
                 )
+                continue
+            for key, base, cand, bad in compare_rows(
+                base_row, cand_row, threshold, atol, include_timing
+            ):
+                checked += 1
+                if bad:
+                    failures.append(
+                        f"{fname}: {list_key} [{label}] {key} regressed: "
+                        f"baseline {base!r} -> candidate {cand!r} "
+                        f"(threshold {threshold:.0%}, atol {atol:g})"
+                    )
     return checked, failures
 
 

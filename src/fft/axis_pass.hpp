@@ -7,6 +7,17 @@
 // construction (one implementation, not two that must not diverge). The
 // per-line arithmetic is independent of the tile width, so any caller's
 // line partitioning yields the same bits.
+//
+// This is also where the SIMD dispatch seam sits: each
+// forward_many_split / inverse_unscaled_many_split call selects the active
+// kernel table (fft/simd.hpp — scalar, AVX2, AVX-512F or NEON, forced via
+// PTIM_SIMD or simd::force_isa) once and runs its two inner loops through
+// it, so one dispatch covers the serial and distributed engines alike.
+// Every ISA is bitwise-identical to the scalar path (explicit mul/add/sub,
+// no FMA, all kernel TUs built with -ffp-contract=off), pinned by
+// tests/test_fft_conformance.cpp. All tile scratch below is per-thread and
+// function-local — concurrent callers on distinct plans (or even the same
+// plan) share no mutable state.
 
 #include <algorithm>
 #include <complex>

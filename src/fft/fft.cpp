@@ -5,8 +5,13 @@
 
 #include "common/error.hpp"
 #include "fft/axis_pass.hpp"
+#include "fft/simd.hpp"
 
 namespace ptim::fft {
+
+// The dispatched kernels size their stack tiles off simd::kMaxTile.
+static_assert(simd::kMaxTile == Plan1DT<double>::kMaxTile,
+              "simd::kMaxTile must match Plan1DT::kMaxTile");
 
 namespace {
 
@@ -256,41 +261,30 @@ void Plan1DT<R>::transform_many_split(const R* in_re, const R* in_im,
     }
     return;
   }
-  recurse_many_split(n_, in_re, in_im, 1, out_re, out_im, 1, fwd, vlen);
+  // Fetch the active ISA's kernel table once per transform; the recursion
+  // below touches data only through it.
+  const simd::PassKernels<R>& ker = simd::pass_kernels<R>(simd::active_isa());
+  recurse_many_split(n_, in_re, in_im, 1, out_re, out_im, 1, fwd, vlen, ker);
 }
 
 // Vector analogue of recurse() on split planes: identical index algebra,
 // but every twiddle is materialized once and swept across the `vlen`
-// contiguous line slots of both planes — plain fused multiply-add streams
-// with no interleaving, so the compiler vectorizes R-wide (float tiles run
-// twice the lanes of double). Twiddles advance by a fixed stride with one
-// modulo per row (the inner loops are division-free).
+// contiguous line slots of both planes. The two inner passes — the direct
+// small-DFT leaf and the radix-r butterfly combine — live in the
+// dispatched SIMD kernels (fft/simd*.cpp): the scalar table holds the
+// verbatim pre-dispatch loops, the AVX2/AVX-512/NEON tables run the same
+// per-lane operation order with explicit (never fused) vector intrinsics,
+// so every ISA produces bitwise-identical planes. Twiddles advance by a
+// fixed stride with one modulo per row (the inner loops are
+// division-free).
 template <typename R>
 void Plan1DT<R>::recurse_many_split(size_t n, const R* in_re, const R* in_im,
                                     size_t stride, R* out_re, R* out_im,
-                                    size_t tw_step, bool fwd,
-                                    size_t vlen) const {
+                                    size_t tw_step, bool fwd, size_t vlen,
+                                    const simd::PassKernels<R>& ker) const {
   if (n <= 7 || smallest_prime_factor(n) == n) {
-    for (size_t k = 0; k < n; ++k) {
-      R* okr = out_re + k * vlen;
-      R* oki = out_im + k * vlen;
-      std::fill(okr, okr + vlen, R(0));
-      std::fill(oki, oki + vlen, R(0));
-      const size_t step = (k * tw_step) % n_;
-      size_t idx = 0;
-      for (size_t j = 0; j < n; ++j) {
-        const R wr = tw_[idx].real();
-        const R wi = fwd ? tw_[idx].imag() : -tw_[idx].imag();
-        idx += step;
-        if (idx >= n_) idx -= n_;
-        const R* ijr = in_re + j * stride * vlen;
-        const R* iji = in_im + j * stride * vlen;
-        for (size_t l = 0; l < vlen; ++l) {
-          okr[l] += wr * ijr[l] - wi * iji[l];
-          oki[l] += wr * iji[l] + wi * ijr[l];
-        }
-      }
-    }
+    ker.dft_rows(n, in_re, in_im, stride, out_re, out_im, tw_.data(), n_,
+                 tw_step, fwd, vlen);
     return;
   }
 
@@ -299,37 +293,9 @@ void Plan1DT<R>::recurse_many_split(size_t n, const R* in_re, const R* in_im,
   for (size_t j = 0; j < r; ++j)
     recurse_many_split(m, in_re + j * stride * vlen, in_im + j * stride * vlen,
                        stride * r, out_re + j * m * vlen,
-                       out_im + j * m * vlen, tw_step * r, fwd, vlen);
+                       out_im + j * m * vlen, tw_step * r, fwd, vlen, ker);
 
-  R tmp_re[8 * kMaxTile], tmp_im[8 * kMaxTile];
-  for (size_t k2 = 0; k2 < m; ++k2) {
-    for (size_t q = 0; q < r; ++q) {
-      R* tqr = tmp_re + q * vlen;
-      R* tqi = tmp_im + q * vlen;
-      std::fill(tqr, tqr + vlen, R(0));
-      std::fill(tqi, tqi + vlen, R(0));
-      const size_t step = ((q * m + k2) * tw_step) % n_;
-      size_t idx = 0;
-      for (size_t j = 0; j < r; ++j) {
-        const R wr = tw_[idx].real();
-        const R wi = fwd ? tw_[idx].imag() : -tw_[idx].imag();
-        idx += step;
-        if (idx >= n_) idx -= n_;
-        const R* yjr = out_re + (j * m + k2) * vlen;
-        const R* yji = out_im + (j * m + k2) * vlen;
-        for (size_t l = 0; l < vlen; ++l) {
-          tqr[l] += wr * yjr[l] - wi * yji[l];
-          tqi[l] += wr * yji[l] + wi * yjr[l];
-        }
-      }
-    }
-    for (size_t q = 0; q < r; ++q) {
-      std::copy(tmp_re + q * vlen, tmp_re + (q + 1) * vlen,
-                out_re + (q * m + k2) * vlen);
-      std::copy(tmp_im + q * vlen, tmp_im + (q + 1) * vlen,
-                out_im + (q * m + k2) * vlen);
-    }
-  }
+  ker.butterfly(r, m, out_re, out_im, tw_.data(), n_, tw_step, fwd, vlen);
 }
 
 template <typename R>
@@ -354,6 +320,41 @@ void Plan1DT<R>::bluestein(const C* in, C* out, bool fwd) const {
   for (size_t k = 0; k < n; ++k) {
     const C c = fwd ? chirp_[k] : std::conj(chirp_[k]);
     out[k] = a[k] * c;
+  }
+}
+
+// --- Γ-point real-pair transforms ----------------------------------------
+// Two real signals a, b share one complex transform: Z = F(a + i b) splits
+// as A[k] = (Z[k] + conj(Z[-k]))/2, B[k] = (Z[k] - conj(Z[-k]))/(2i)
+// because the spectra of real signals are conjugate-symmetric.
+
+template <typename R>
+void Plan1DT<R>::forward_real_pair(const R* a, const R* b, C* fa,
+                                   C* fb) const {
+  std::vector<C> z(n_), zf(n_);
+  for (size_t i = 0; i < n_; ++i) z[i] = C(a[i], b != nullptr ? b[i] : R(0));
+  forward(z.data(), zf.data());
+  for (size_t k = 0; k < n_; ++k) {
+    const size_t nk = (n_ - k) % n_;
+    const C zk = zf[k];
+    const C znc = std::conj(zf[nk]);
+    fa[k] = (zk + znc) * R(0.5);
+    if (fb != nullptr) fb[k] = (zk - znc) * C(R(0), R(-0.5));
+  }
+}
+
+template <typename R>
+void Plan1DT<R>::inverse_real_pair(const C* fa, const C* fb, R* a,
+                                   R* b) const {
+  std::vector<C> z(n_), zi(n_);
+  for (size_t k = 0; k < n_; ++k) {
+    const C bk = fb != nullptr ? fb[k] : C(0);
+    z[k] = C(fa[k].real() - bk.imag(), fa[k].imag() + bk.real());
+  }
+  inverse(z.data(), zi.data());
+  for (size_t i = 0; i < n_; ++i) {
+    a[i] = zi[i].real();
+    if (b != nullptr) b[i] = zi[i].imag();
   }
 }
 
@@ -433,6 +434,79 @@ void Fft3T<R>::transform_batch(C* data, size_t nbatch, Dir dir) const {
     axis2();
     axis1();
     axis0();
+  }
+}
+
+// --- Γ-point real-batch transforms ---------------------------------------
+// Packing: lane t carries fields 2t (real part) and 2t+1 (imaginary part);
+// an odd trailing field rides a zero imaginary lane. The unscramble uses
+// the 3-D negated-index conjugate symmetry of real-input spectra, with
+// -k = ((n0-k0)%n0, (n1-k1)%n1, (n2-k2)%n2) in the engine's column-major
+// index convention.
+
+template <typename R>
+void Fft3T<R>::forward_batch_real(const R* data, C* spec, size_t nreal) const {
+  if (nreal == 0) return;
+  const size_t ng = size();
+  const size_t nlanes = (nreal + 1) / 2;
+  std::vector<C> z(nlanes * ng);
+#pragma omp parallel for schedule(static)
+  for (size_t t = 0; t < nlanes; ++t) {
+    const R* a = data + 2 * t * ng;
+    const R* b = 2 * t + 1 < nreal ? data + (2 * t + 1) * ng : nullptr;
+    C* zt = z.data() + t * ng;
+    for (size_t i = 0; i < ng; ++i)
+      zt[i] = C(a[i], b != nullptr ? b[i] : R(0));
+  }
+  forward_batch(z.data(), nlanes);
+#pragma omp parallel for schedule(static)
+  for (size_t t = 0; t < nlanes; ++t) {
+    const C* zt = z.data() + t * ng;
+    C* fa = spec + 2 * t * ng;
+    C* fb = 2 * t + 1 < nreal ? spec + (2 * t + 1) * ng : nullptr;
+    size_t i = 0;
+    for (size_t i2 = 0; i2 < n2_; ++i2) {
+      const size_t m2 = ((n2_ - i2) % n2_) * n1_;
+      for (size_t i1 = 0; i1 < n1_; ++i1) {
+        const size_t m1 = (m2 + (n1_ - i1) % n1_) * n0_;
+        for (size_t i0 = 0; i0 < n0_; ++i0, ++i) {
+          const size_t ni = m1 + (n0_ - i0) % n0_;
+          const C zk = zt[i];
+          const C znc = std::conj(zt[ni]);
+          fa[i] = (zk + znc) * R(0.5);
+          if (fb != nullptr) fb[i] = (zk - znc) * C(R(0), R(-0.5));
+        }
+      }
+    }
+  }
+}
+
+template <typename R>
+void Fft3T<R>::inverse_batch_real(const C* spec, R* data, size_t nreal) const {
+  if (nreal == 0) return;
+  const size_t ng = size();
+  const size_t nlanes = (nreal + 1) / 2;
+  std::vector<C> z(nlanes * ng);
+#pragma omp parallel for schedule(static)
+  for (size_t t = 0; t < nlanes; ++t) {
+    const C* fa = spec + 2 * t * ng;
+    const C* fb = 2 * t + 1 < nreal ? spec + (2 * t + 1) * ng : nullptr;
+    C* zt = z.data() + t * ng;
+    for (size_t i = 0; i < ng; ++i) {
+      const C bk = fb != nullptr ? fb[i] : C(0);
+      zt[i] = C(fa[i].real() - bk.imag(), fa[i].imag() + bk.real());
+    }
+  }
+  inverse_batch(z.data(), nlanes);
+#pragma omp parallel for schedule(static)
+  for (size_t t = 0; t < nlanes; ++t) {
+    const C* zt = z.data() + t * ng;
+    R* a = data + 2 * t * ng;
+    R* b = 2 * t + 1 < nreal ? data + (2 * t + 1) * ng : nullptr;
+    for (size_t i = 0; i < ng; ++i) {
+      a[i] = zt[i].real();
+      if (b != nullptr) b[i] = zt[i].imag();
+    }
   }
 }
 

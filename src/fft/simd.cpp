@@ -1,0 +1,158 @@
+// Dispatch registry for the SIMD FFT pass kernels (fft/simd.hpp): CPU
+// feature detection, PTIM_SIMD environment override, and the per-ISA
+// kernel table lookup.
+
+#include "fft/simd.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace ptim::fft::simd {
+
+namespace {
+
+bool cpu_supports(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return true;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+    case Isa::kAvx2: return __builtin_cpu_supports("avx2") != 0;
+    case Isa::kAvx512: return __builtin_cpu_supports("avx512f") != 0;
+#else
+    case Isa::kAvx2:
+    case Isa::kAvx512: return false;
+#endif
+#if defined(__aarch64__)
+    case Isa::kNeon: return true;  // baseline on AArch64
+#else
+    case Isa::kNeon: return false;
+#endif
+  }
+  return false;
+}
+
+// Parse PTIM_SIMD; returns best_available() when unset, on "native", or —
+// with a one-time stderr warning — when the request is unknown or not
+// available on this build/CPU ("scalar" always succeeds).
+Isa from_env_or_best() {
+  const char* e = std::getenv("PTIM_SIMD");
+  if (e == nullptr || *e == '\0') return best_available();
+  Isa req = Isa::kScalar;
+  bool known = true;
+  if (std::strcmp(e, "scalar") == 0)
+    req = Isa::kScalar;
+  else if (std::strcmp(e, "avx2") == 0)
+    req = Isa::kAvx2;
+  else if (std::strcmp(e, "avx512") == 0)
+    req = Isa::kAvx512;
+  else if (std::strcmp(e, "neon") == 0)
+    req = Isa::kNeon;
+  else if (std::strcmp(e, "native") == 0)
+    return best_available();
+  else
+    known = false;
+  if (known && available(req)) return req;
+  const Isa fb = best_available();
+  std::fprintf(stderr,
+               "ptim: PTIM_SIMD=%s %s; falling back to %s FFT kernels\n", e,
+               known ? "is not available on this build/CPU" : "is not a known"
+                                                              " ISA",
+               isa_name(fb));
+  return fb;
+}
+
+// -1 = not forced; otherwise the forced Isa. Relaxed is enough: tests
+// force/clear around synchronous transform calls.
+std::atomic<int> g_forced{-1};
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kAvx2: return "avx2";
+    case Isa::kAvx512: return "avx512";
+    case Isa::kNeon: return "neon";
+  }
+  return "?";
+}
+
+bool compiled(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return true;
+    case Isa::kAvx2: return detail::avx2_kernels_f64() != nullptr;
+    case Isa::kAvx512: return detail::avx512_kernels_f64() != nullptr;
+    case Isa::kNeon: return detail::neon_kernels_f64() != nullptr;
+  }
+  return false;
+}
+
+bool available(Isa isa) { return compiled(isa) && cpu_supports(isa); }
+
+Isa best_available() {
+  for (Isa isa : {Isa::kAvx512, Isa::kAvx2, Isa::kNeon})
+    if (available(isa)) return isa;
+  return Isa::kScalar;
+}
+
+Isa active_isa() {
+  const int f = g_forced.load(std::memory_order_relaxed);
+  if (f >= 0) return static_cast<Isa>(f);
+  // The environment is parsed (and any warning printed) exactly once.
+  static const Isa from_env = from_env_or_best();
+  return from_env;
+}
+
+void force_isa(Isa isa) {
+  PTIM_CHECK_MSG(available(isa), "simd::force_isa: ISA not available");
+  g_forced.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+void clear_forced_isa() { g_forced.store(-1, std::memory_order_relaxed); }
+
+namespace {
+
+template <typename R>
+const PassKernels<R>* table_for(Isa isa);
+
+template <>
+const PassKernels<double>* table_for<double>(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return detail::scalar_kernels_f64();
+    case Isa::kAvx2: return detail::avx2_kernels_f64();
+    case Isa::kAvx512: return detail::avx512_kernels_f64();
+    case Isa::kNeon: return detail::neon_kernels_f64();
+  }
+  return nullptr;
+}
+
+template <>
+const PassKernels<float>* table_for<float>(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return detail::scalar_kernels_f32();
+    case Isa::kAvx2: return detail::avx2_kernels_f32();
+    case Isa::kAvx512: return detail::avx512_kernels_f32();
+    case Isa::kNeon: return detail::neon_kernels_f32();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+template <>
+const PassKernels<double>& pass_kernels<double>(Isa isa) {
+  const PassKernels<double>* k = table_for<double>(isa);
+  return k != nullptr ? *k : *detail::scalar_kernels_f64();
+}
+
+template <>
+const PassKernels<float>& pass_kernels<float>(Isa isa) {
+  const PassKernels<float>* k = table_for<float>(isa);
+  return k != nullptr ? *k : *detail::scalar_kernels_f32();
+}
+
+}  // namespace ptim::fft::simd

@@ -1,0 +1,89 @@
+#pragma once
+// Runtime-dispatched SIMD kernels for the split-plane tile FFT engine.
+//
+// The two hot loops of Plan1DT<R>::recurse_many_split — the direct
+// small-DFT leaf and the radix-r butterfly combine — are compiled once per
+// instruction set (scalar baseline, AVX2, AVX-512F, NEON) in dedicated
+// translation units that receive the matching -m<isa> flag, and selected
+// once per transform through the PassKernels function-pointer table below.
+// The scalar TU contains the verbatim pre-dispatch loops, and every vector
+// TU performs the same per-lane operation sequence with explicit
+// mul/add/sub intrinsics (never FMA; all kernel TUs are built with
+// -ffp-contract=off), so EVERY ISA is bitwise-identical to the scalar
+// path in both FP64 and FP32 — pinned by tests/test_fft_conformance.cpp.
+//
+// Selection order: force_isa() (test hook) > the PTIM_SIMD environment
+// variable (scalar|avx2|avx512|neon|native) > best_available(). An
+// unavailable request warns once on stderr and falls back to the best
+// available ISA. The seam sits under Plan1DT::transform_many_split, which
+// both the serial batched engine (Fft3T via fft/axis_pass.hpp) and the
+// distributed slab engine (DistFft3T) drive — one dispatch covers both.
+
+#include <complex>
+#include <cstddef>
+
+namespace ptim::fft::simd {
+
+enum class Isa { kScalar = 0, kAvx2 = 1, kAvx512 = 2, kNeon = 3 };
+
+const char* isa_name(Isa isa);
+
+// Widest tile the kernels size their stack scratch for; must match
+// Plan1DT<R>::kMaxTile (static_assert'd in fft.cpp).
+inline constexpr size_t kMaxTile = 16;
+
+// The dispatched pass kernels of one (scalar type, ISA) pair. Both operate
+// on element-major split-plane tiles of `vlen` lanes (element k of lane l
+// at [k*vlen + l]) and walk the shared top-level root table `tw` (size
+// n_total, forward roots) by `tw_step`-scaled strides exactly like the
+// scalar recursion they replace.
+template <typename R>
+struct PassKernels {
+  // Direct small-DFT leaf: out[k] = sum_j w^{k j} in[j] over n rows of
+  // vlen lanes, inputs strided by `stride` rows.
+  void (*dft_rows)(size_t n, const R* in_re, const R* in_im, size_t stride,
+                   R* out_re, R* out_im, const std::complex<R>* tw,
+                   size_t n_total, size_t tw_step, bool fwd, size_t vlen);
+  // Radix-r butterfly combine over the r contiguous m-row sub-transform
+  // outputs, in place: X[q*m + k2] = sum_j w^{j(q*m+k2)} Y_j[k2].
+  void (*butterfly)(size_t r, size_t m, R* out_re, R* out_im,
+                    const std::complex<R>* tw, size_t n_total, size_t tw_step,
+                    bool fwd, size_t vlen);
+};
+
+// --- variant queries ------------------------------------------------------
+bool compiled(Isa isa);   // this build contains the ISA's kernel TU
+bool available(Isa isa);  // compiled AND supported by the running CPU
+Isa best_available();
+
+// --- active selection -----------------------------------------------------
+Isa active_isa();
+// Test hooks: force_isa() overrides every other selection source until
+// clear_forced_isa(); forcing an unavailable ISA throws.
+void force_isa(Isa isa);
+void clear_forced_isa();
+
+// Kernel table of one ISA; falls back to the scalar table when the ISA is
+// not available in this build.
+template <typename R>
+const PassKernels<R>& pass_kernels(Isa isa);
+
+template <>
+const PassKernels<double>& pass_kernels<double>(Isa isa);
+template <>
+const PassKernels<float>& pass_kernels<float>(Isa isa);
+
+namespace detail {
+// Per-TU kernel table getters; nullptr when the TU was compiled without
+// that ISA (missing compiler flag or foreign architecture).
+const PassKernels<double>* scalar_kernels_f64();
+const PassKernels<float>* scalar_kernels_f32();
+const PassKernels<double>* avx2_kernels_f64();
+const PassKernels<float>* avx2_kernels_f32();
+const PassKernels<double>* avx512_kernels_f64();
+const PassKernels<float>* avx512_kernels_f32();
+const PassKernels<double>* neon_kernels_f64();
+const PassKernels<float>* neon_kernels_f32();
+}  // namespace detail
+
+}  // namespace ptim::fft::simd

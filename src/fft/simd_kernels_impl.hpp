@@ -1,0 +1,104 @@
+#pragma once
+// Shared body of the vector pass kernels, templated over a vector policy.
+//
+// A policy V provides: width, a register type V::T, and load / store /
+// set1 / add / sub / mul over it. The vector main loop performs, per lane,
+// THE SAME operation sequence as the scalar reference kernels in
+// simd_scalar.cpp — t1 = wr*x, t2 = wi*y, one sub/add, one accumulate add,
+// with explicit mul/add/sub intrinsics and no FMA (the TUs are compiled
+// with -ffp-contract=off) — and the tail loop repeats the scalar
+// statements verbatim, so the result is bitwise-identical to the scalar
+// kernels for every vlen. Included only by the per-ISA TUs.
+
+#include <algorithm>
+#include <complex>
+#include <cstddef>
+
+#include "fft/simd.hpp"
+
+namespace ptim::fft::simd::detail {
+
+template <typename R, typename V>
+void dft_rows_impl(size_t n, const R* in_re, const R* in_im, size_t stride,
+                   R* out_re, R* out_im, const std::complex<R>* tw,
+                   size_t n_total, size_t tw_step, bool fwd, size_t vlen) {
+  for (size_t k = 0; k < n; ++k) {
+    R* okr = out_re + k * vlen;
+    R* oki = out_im + k * vlen;
+    std::fill(okr, okr + vlen, R(0));
+    std::fill(oki, oki + vlen, R(0));
+    const size_t step = (k * tw_step) % n_total;
+    size_t idx = 0;
+    for (size_t j = 0; j < n; ++j) {
+      const R wr = tw[idx].real();
+      const R wi = fwd ? tw[idx].imag() : -tw[idx].imag();
+      idx += step;
+      if (idx >= n_total) idx -= n_total;
+      const R* ijr = in_re + j * stride * vlen;
+      const R* iji = in_im + j * stride * vlen;
+      const typename V::T vwr = V::set1(wr);
+      const typename V::T vwi = V::set1(wi);
+      size_t l = 0;
+      for (; l + V::width <= vlen; l += V::width) {
+        const typename V::T xr = V::load(ijr + l);
+        const typename V::T xi = V::load(iji + l);
+        const typename V::T re = V::sub(V::mul(vwr, xr), V::mul(vwi, xi));
+        const typename V::T im = V::add(V::mul(vwr, xi), V::mul(vwi, xr));
+        V::store(okr + l, V::add(V::load(okr + l), re));
+        V::store(oki + l, V::add(V::load(oki + l), im));
+      }
+      for (; l < vlen; ++l) {
+        okr[l] += wr * ijr[l] - wi * iji[l];
+        oki[l] += wr * iji[l] + wi * ijr[l];
+      }
+    }
+  }
+}
+
+template <typename R, typename V>
+void butterfly_impl(size_t r, size_t m, R* out_re, R* out_im,
+                    const std::complex<R>* tw, size_t n_total, size_t tw_step,
+                    bool fwd, size_t vlen) {
+  R tmp_re[8 * kMaxTile], tmp_im[8 * kMaxTile];
+  for (size_t k2 = 0; k2 < m; ++k2) {
+    for (size_t q = 0; q < r; ++q) {
+      R* tqr = tmp_re + q * vlen;
+      R* tqi = tmp_im + q * vlen;
+      std::fill(tqr, tqr + vlen, R(0));
+      std::fill(tqi, tqi + vlen, R(0));
+      const size_t step = ((q * m + k2) * tw_step) % n_total;
+      size_t idx = 0;
+      for (size_t j = 0; j < r; ++j) {
+        const R wr = tw[idx].real();
+        const R wi = fwd ? tw[idx].imag() : -tw[idx].imag();
+        idx += step;
+        if (idx >= n_total) idx -= n_total;
+        const R* yjr = out_re + (j * m + k2) * vlen;
+        const R* yji = out_im + (j * m + k2) * vlen;
+        const typename V::T vwr = V::set1(wr);
+        const typename V::T vwi = V::set1(wi);
+        size_t l = 0;
+        for (; l + V::width <= vlen; l += V::width) {
+          const typename V::T xr = V::load(yjr + l);
+          const typename V::T xi = V::load(yji + l);
+          const typename V::T re = V::sub(V::mul(vwr, xr), V::mul(vwi, xi));
+          const typename V::T im = V::add(V::mul(vwr, xi), V::mul(vwi, xr));
+          V::store(tqr + l, V::add(V::load(tqr + l), re));
+          V::store(tqi + l, V::add(V::load(tqi + l), im));
+        }
+        for (; l < vlen; ++l) {
+          tqr[l] += wr * yjr[l] - wi * yji[l];
+          tqi[l] += wr * yji[l] + wi * yjr[l];
+        }
+      }
+    }
+    for (size_t q = 0; q < r; ++q) {
+      std::copy(tmp_re + q * vlen, tmp_re + (q + 1) * vlen,
+                out_re + (q * m + k2) * vlen);
+      std::copy(tmp_im + q * vlen, tmp_im + (q + 1) * vlen,
+                out_im + (q * m + k2) * vlen);
+    }
+  }
+}
+
+}  // namespace ptim::fft::simd::detail

@@ -93,6 +93,11 @@ class Hamiltonian {
   }
   void set_isdf_rank_factor(real_t c) { xop_.set_isdf_rank_factor(c); }
   real_t isdf_rank_factor() const { return xop_.isdf_rank_factor(); }
+  // Γ-point real-wavefunction fast path of the exchange pair pipeline
+  // (detection-gated; complex orbitals fall back bitwise — see
+  // ham/exchange.hpp).
+  void set_exchange_gamma_real(bool on) { xop_.set_gamma_real(on); }
+  bool exchange_gamma_real() const { return xop_.gamma_real(); }
   void set_ace(AceOperator ace) { ace_ = std::move(ace); xmode_ = ExchangeMode::kAce; }
   const AceOperator& ace() const { return ace_; }
 
